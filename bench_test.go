@@ -1,0 +1,294 @@
+// Benchmarks regenerating every experiment in DESIGN.md §4. Each
+// benchmark drives the experiment's hot path b.N times and reports
+// virtual cycles per operation; running with -v also prints the full
+// result table exactly as cmd/benchtab would.
+package paramecium_test
+
+import (
+	"testing"
+
+	"paramecium/internal/bench"
+	"paramecium/internal/core"
+	"paramecium/internal/event"
+	"paramecium/internal/hw"
+	"paramecium/internal/mmu"
+	"paramecium/internal/netstack"
+	"paramecium/internal/obj"
+	"paramecium/internal/threads"
+)
+
+// logTable prints the experiment's full table when -v is set.
+func logTable(b *testing.B, t bench.Table) {
+	b.Helper()
+	b.Log("\n" + t.Render())
+}
+
+// reportCycles converts a virtual-cycle total into the benchmark's
+// custom metric.
+func reportCycles(b *testing.B, total uint64) {
+	b.ReportMetric(float64(total)/float64(b.N), "cycles/op")
+}
+
+func BenchmarkT1_Invocation(b *testing.B) {
+	w := bench.NewWorld()
+	decl := obj.MustInterfaceDecl("bench.counter.v1", obj.MethodDecl{Name: "inc", NumIn: 0, NumOut: 1})
+	o := obj.New("counter", w.K.Meter)
+	n := 0
+	bi, err := o.AddInterface(decl, &n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bi.MustBind("inc", func(...any) ([]any, error) { n++; return []any{n}, nil })
+	iv, _ := o.Iface("bench.counter.v1")
+
+	watch := w.K.Meter.Clock.StartWatch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := iv.Invoke("inc"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportCycles(b, watch.Elapsed())
+	logTable(b, bench.T1Invocation())
+}
+
+func BenchmarkT2_CrossDomain(b *testing.B) {
+	w := bench.NewWorld()
+	decl := obj.MustInterfaceDecl("bench.echo.v1", obj.MethodDecl{Name: "echo", NumIn: 1, NumOut: 1})
+	server := obj.New("echo", w.K.Meter)
+	bi, err := server.AddInterface(decl, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bi.MustBind("echo", func(args ...any) ([]any, error) { return []any{args[0]}, nil })
+	serverDom := w.K.NewDomain("server")
+	clientDom := w.K.NewDomain("client")
+	if err := w.K.Register("/services/echo", server, serverDom.Ctx); err != nil {
+		b.Fatal(err)
+	}
+	remote, err := clientDom.BindInterface("/services/echo", "bench.echo.v1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	arg := make([]byte, 64)
+
+	watch := w.K.Meter.Clock.StartWatch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := remote.Invoke("echo", arg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportCycles(b, watch.Elapsed())
+	logTable(b, bench.T2CrossDomain())
+}
+
+func BenchmarkT3_Interrupt(b *testing.B) {
+	machine := hw.New(hw.Config{PhysFrames: 16})
+	sched := threads.NewScheduler(machine.Meter)
+	events := event.New(machine, sched)
+	if err := events.RegisterIRQ(3, "bench", mmu.KernelContext, event.DispatchProto,
+		func(*hw.TrapFrame, *threads.Thread) {}); err != nil {
+		b.Fatal(err)
+	}
+	watch := machine.Meter.Clock.StartWatch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := machine.RaiseIRQ(3); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	sched.RunUntilIdle()
+	reportCycles(b, watch.Elapsed())
+	logTable(b, bench.T3Interrupt())
+}
+
+func BenchmarkT4_Certify(b *testing.B) {
+	w := bench.NewWorld()
+	image := make([]byte, 16<<10)
+	c, err := w.Admin.Certify("img", image, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	watch := w.K.Meter.Clock.StartWatch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.K.Validator.InvalidateCache()
+		if err := w.K.Validator.Validate(image, c, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportCycles(b, watch.Elapsed())
+	logTable(b, bench.T4Certification())
+}
+
+func BenchmarkT5_FilterPlacement(b *testing.B) {
+	w := bench.NewWorld()
+	w.AddPVM("portfilter", netstack.PortFilterProgram(7), true)
+	lf, err := w.K.LoadFilter("portfilter", core.PlaceKernelCertified)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame := bench.Frame(7, 256)
+	watch := w.K.Meter.Clock.StartWatch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lf.Accept(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportCycles(b, watch.Elapsed())
+	logTable(b, bench.T5FilterPlacement())
+}
+
+func BenchmarkT6_Reconfig(b *testing.B) {
+	w := bench.NewWorld()
+	w.AddPVM("f", netstack.PortFilterProgram(7), true)
+	if _, err := w.K.LoadFilter("f", core.PlaceKernelCertified); err != nil {
+		b.Fatal(err)
+	}
+	path := "/services/f." + core.PlaceKernelCertified.String()
+	watch := w.K.Meter.Clock.StartWatch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.K.RootView.Bind(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportCycles(b, watch.Elapsed())
+	logTable(b, bench.T6Reconfiguration())
+}
+
+func BenchmarkF1_Throughput(b *testing.B) {
+	w := bench.NewWorld()
+	w.AddPVM("portfilter", netstack.PortFilterProgram(7), true)
+	lf, err := w.K.LoadFilter("portfilter", core.PlaceKernelCertified)
+	if err != nil {
+		b.Fatal(err)
+	}
+	drv := obj.New("nulldrv", w.K.Meter)
+	bi, err := drv.AddInterface(obj.MustInterfaceDecl("paramecium.netdev.v1",
+		obj.MethodDecl{Name: "send", NumIn: 1, NumOut: 0},
+		obj.MethodDecl{Name: "recv", NumIn: 0, NumOut: 1},
+		obj.MethodDecl{Name: "stats", NumIn: 0, NumOut: 3}), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bi.MustBind("send", func(...any) ([]any, error) { return nil, nil }).
+		MustBind("recv", func(...any) ([]any, error) { return []any{[]byte(nil)}, nil }).
+		MustBind("stats", func(...any) ([]any, error) { return []any{uint64(0), uint64(0), uint64(0)}, nil })
+	drvIv, _ := drv.Iface("paramecium.netdev.v1")
+	stack, err := netstack.NewStack("stack", w.K.Meter, drvIv,
+		netstack.MAC{2, 0, 0, 0, 0, 1}, netstack.IP{10, 0, 0, 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stack.AttachFilter(lf)
+	if _, err := stack.Bind(7); err != nil {
+		b.Fatal(err)
+	}
+	frame := bench.Frame(7, 256)
+	watch := w.K.Meter.Clock.StartWatch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stack.Deliver(frame)
+	}
+	b.StopTimer()
+	reportCycles(b, watch.Elapsed())
+	logTable(b, bench.F1Throughput())
+}
+
+func BenchmarkF2_BreakEven(b *testing.B) {
+	w := bench.NewWorld()
+	w.AddPVM("f", netstack.WorkFilterProgram(7, 256), true)
+	lf, err := w.K.LoadFilter("f", core.PlaceKernelSandboxed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame := bench.Frame(7, 1024)
+	watch := w.K.Meter.Clock.StartWatch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lf.Accept(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportCycles(b, watch.Elapsed())
+	logTable(b, bench.F2BreakEven())
+}
+
+func BenchmarkF3_BlockingFraction(b *testing.B) {
+	machine := hw.New(hw.Config{PhysFrames: 16})
+	sched := threads.NewScheduler(machine.Meter)
+	events := event.New(machine, sched)
+	if err := events.RegisterIRQ(3, "bench", mmu.KernelContext, event.DispatchEager,
+		func(*hw.TrapFrame, *threads.Thread) {}); err != nil {
+		b.Fatal(err)
+	}
+	watch := machine.Meter.Clock.StartWatch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := machine.RaiseIRQ(3); err != nil {
+			b.Fatal(err)
+		}
+		sched.RunUntilIdle()
+	}
+	b.StopTimer()
+	reportCycles(b, watch.Elapsed())
+	logTable(b, bench.F3BlockingFraction())
+}
+
+func BenchmarkF4_Namespace(b *testing.B) {
+	w := bench.NewWorld()
+	leaf := obj.New("leaf", w.K.Meter)
+	if err := w.K.Space.Register("/a/b/c/d", leaf); err != nil {
+		b.Fatal(err)
+	}
+	watch := w.K.Meter.Clock.StartWatch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.K.RootView.Bind("/a/b/c/d"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportCycles(b, watch.Elapsed())
+	logTable(b, bench.F4Namespace())
+}
+
+func BenchmarkF5_TrapCostSweep(b *testing.B) {
+	w := bench.NewWorld()
+	decl := obj.MustInterfaceDecl("bench.noop.v1", obj.MethodDecl{Name: "noop", NumIn: 0, NumOut: 0})
+	server := obj.New("noop", w.K.Meter)
+	bi, err := server.AddInterface(decl, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bi.MustBind("noop", func(...any) ([]any, error) { return nil, nil })
+	serverDom := w.K.NewDomain("server")
+	clientDom := w.K.NewDomain("client")
+	if err := w.K.Register("/services/noop", server, serverDom.Ctx); err != nil {
+		b.Fatal(err)
+	}
+	iv, err := clientDom.BindInterface("/services/noop", "bench.noop.v1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	watch := w.K.Meter.Clock.StartWatch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := iv.Invoke("noop"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportCycles(b, watch.Elapsed())
+	logTable(b, bench.F5TrapCostSweep())
+}

@@ -1,0 +1,69 @@
+// Command benchtab regenerates every experiment table and figure of
+// the reproduction (DESIGN.md §4) and prints them as text.
+//
+// Usage:
+//
+//	benchtab            # run all experiments
+//	benchtab T1 F2      # run selected experiments by id
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"paramecium/internal/bench"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchtab [experiment ids...]\n")
+		fmt.Fprintf(os.Stderr, "experiments: T1 T2 T3 T4 T5 T6 F1 F2 F3 F4 F5 (default: all)\n")
+	}
+	flag.Parse()
+
+	want := make(map[string]bool)
+	for _, a := range flag.Args() {
+		want[strings.ToUpper(a)] = true
+	}
+
+	runners := map[string]func() bench.Table{
+		"T1": bench.T1Invocation,
+		"T2": bench.T2CrossDomain,
+		"T3": bench.T3Interrupt,
+		"T4": bench.T4Certification,
+		"T5": bench.T5FilterPlacement,
+		"T6": bench.T6Reconfiguration,
+		"F1": bench.F1Throughput,
+		"F2": bench.F2BreakEven,
+		"F3": bench.F3BlockingFraction,
+		"F4": bench.F4Namespace,
+		"F5": bench.F5TrapCostSweep,
+	}
+	order := []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4", "F5"}
+
+	for _, id := range want {
+		_ = id
+	}
+	for _, a := range flag.Args() {
+		if _, ok := runners[strings.ToUpper(a)]; !ok {
+			fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q\n", a)
+			os.Exit(2)
+		}
+	}
+
+	ran := 0
+	for _, id := range order {
+		if len(want) > 0 && !want[id] {
+			continue
+		}
+		t := runners[id]()
+		fmt.Println(t.Render())
+		ran++
+	}
+	if ran == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

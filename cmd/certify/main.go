@@ -1,0 +1,242 @@
+// Command certify manages component repositories and certificates: it
+// creates repositories, assembles PVM components into them, signs them
+// via a certifier chain with an escape hatch, and verifies manifests —
+// the offline half of the paper's certification story.
+//
+// Usage:
+//
+//	certify init    <manifest>
+//	certify add     <manifest> <name> <program.pvm-asm>
+//	certify sign    <manifest> <name> <delegate> <key-seed> [privileges]
+//	certify verify  <manifest> <authority-seed> <delegate> <key-seed>
+//	certify list    <manifest>
+//
+// Key management is deliberately seed-based (deterministic keys) so
+// that examples and tests are reproducible; a production system would
+// hold real key files.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"paramecium/internal/cert"
+	"paramecium/internal/repoz"
+	"paramecium/internal/sandbox"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "init":
+		err = cmdInit(os.Args[2])
+	case "add":
+		if len(os.Args) != 5 {
+			usage()
+		}
+		err = cmdAdd(os.Args[2], os.Args[3], os.Args[4])
+	case "sign":
+		if len(os.Args) < 6 {
+			usage()
+		}
+		privs := "kernel"
+		if len(os.Args) > 6 {
+			privs = os.Args[6]
+		}
+		err = cmdSign(os.Args[2], os.Args[3], os.Args[4], os.Args[5], privs)
+	case "verify":
+		if len(os.Args) != 6 {
+			usage()
+		}
+		err = cmdVerify(os.Args[2], os.Args[3], os.Args[4], os.Args[5])
+	case "list":
+		err = cmdList(os.Args[2])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "certify: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  certify init    <manifest>
+  certify add     <manifest> <name> <program.pvm-asm>
+  certify sign    <manifest> <name> <delegate> <key-seed> [privileges]
+  certify verify  <manifest> <authority-seed> <delegate> <key-seed>
+  certify list    <manifest>
+privileges: comma-separated from kernel,device,shared`)
+	os.Exit(2)
+}
+
+func loadRepo(path string) (*repoz.Repository, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return repoz.Unmarshal(data)
+}
+
+func saveRepo(path string, r *repoz.Repository) error {
+	data, err := r.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func cmdInit(path string) error {
+	if _, err := os.Stat(path); err == nil {
+		return fmt.Errorf("%s already exists", path)
+	}
+	return saveRepo(path, repoz.New())
+}
+
+func cmdAdd(manifest, name, asmPath string) error {
+	r, err := loadRepo(manifest)
+	if err != nil {
+		return err
+	}
+	src, err := os.ReadFile(asmPath)
+	if err != nil {
+		return err
+	}
+	prog, err := sandbox.Assemble(string(src))
+	if err != nil {
+		return err
+	}
+	if err := sandbox.Verify(prog); err != nil {
+		return err
+	}
+	if err := r.Add(&repoz.Image{Name: name, Kind: repoz.KindPVM, Data: prog.Encode()}); err != nil {
+		return err
+	}
+	if err := saveRepo(manifest, r); err != nil {
+		return err
+	}
+	digest := cert.DigestImage(nil, prog.Encode())
+	fmt.Printf("added %q: %d instructions, digest %x\n", name, len(prog), digest[:8])
+	return nil
+}
+
+func parsePrivs(s string) (cert.Privilege, error) {
+	var p cert.Privilege
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "kernel":
+			p |= cert.PrivKernelResident
+		case "device":
+			p |= cert.PrivDeviceAccess
+		case "shared":
+			p |= cert.PrivSharedService
+		case "":
+		default:
+			return 0, fmt.Errorf("unknown privilege %q", part)
+		}
+	}
+	return p, nil
+}
+
+func cmdSign(manifest, name, delegate, seedStr, privStr string) error {
+	r, err := loadRepo(manifest)
+	if err != nil {
+		return err
+	}
+	seed, err := strconv.ParseUint(seedStr, 0, 64)
+	if err != nil {
+		return fmt.Errorf("bad key seed: %v", err)
+	}
+	privs, err := parsePrivs(privStr)
+	if err != nil {
+		return err
+	}
+	img, err := r.Get(name)
+	if err != nil {
+		return err
+	}
+	certifier := cert.NewKeyCertifier(delegate, cert.GenerateKey(seed), privs)
+	c, err := certifier.Certify(name, img.Data, privs)
+	if err != nil {
+		return err
+	}
+	if err := r.Certify(name, c); err != nil {
+		return err
+	}
+	if err := saveRepo(manifest, r); err != nil {
+		return err
+	}
+	fmt.Printf("signed %q by %q with %v\n", name, delegate, privs)
+	return nil
+}
+
+func cmdVerify(manifest, authSeedStr, delegate, seedStr string) error {
+	r, err := loadRepo(manifest)
+	if err != nil {
+		return err
+	}
+	authSeed, err := strconv.ParseUint(authSeedStr, 0, 64)
+	if err != nil {
+		return fmt.Errorf("bad authority seed: %v", err)
+	}
+	seed, err := strconv.ParseUint(seedStr, 0, 64)
+	if err != nil {
+		return fmt.Errorf("bad key seed: %v", err)
+	}
+	auth := cert.NewAuthority(authSeed)
+	val := cert.NewValidator(nil, auth.PublicKey())
+	key := cert.GenerateKey(seed)
+	all := cert.PrivKernelResident | cert.PrivDeviceAccess | cert.PrivSharedService
+	if err := val.AddDelegation(auth.Delegate(delegate, key.Pub, all)); err != nil {
+		return err
+	}
+	ok, bad := 0, 0
+	for _, name := range r.List() {
+		img, err := r.Get(name)
+		if err != nil {
+			return err
+		}
+		if img.Cert == nil {
+			fmt.Printf("%-24s UNCERTIFIED\n", name)
+			bad++
+			continue
+		}
+		if err := val.Validate(img.Data, img.Cert, img.Cert.Privilege); err != nil {
+			fmt.Printf("%-24s INVALID: %v\n", name, err)
+			bad++
+			continue
+		}
+		fmt.Printf("%-24s ok (%v by %s)\n", name, img.Cert.Privilege, img.Cert.Issuer)
+		ok++
+	}
+	fmt.Printf("%d valid, %d problematic\n", ok, bad)
+	if bad > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func cmdList(manifest string) error {
+	r, err := loadRepo(manifest)
+	if err != nil {
+		return err
+	}
+	for _, name := range r.List() {
+		img, err := r.Get(name)
+		if err != nil {
+			return err
+		}
+		status := "uncertified"
+		if img.Cert != nil {
+			status = fmt.Sprintf("certified %v by %s", img.Cert.Privilege, img.Cert.Issuer)
+		}
+		fmt.Printf("%-24s %-8s %6d bytes  %s\n", name, img.Kind, len(img.Data), status)
+	}
+	return nil
+}

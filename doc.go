@@ -1,0 +1,18 @@
+// Package paramecium is a reproduction, in Go, of "Paramecium: an
+// extensible object-based kernel" (van Doorn, Homburg, Tanenbaum;
+// HotOS-V, 1995).
+//
+// The implementation lives under internal/: the simulated machine
+// (hw, mmu, clock), the object architecture (obj), the name space
+// (names), the four nucleus services (event, mem, names, cert wired
+// together by core), the thread package with proto-thread pop-up
+// threads (threads), cross-domain proxies (proxy), the PVM bytecode
+// with its SFI rewriter (sandbox), drivers and a protocol stack
+// (drivers, netstack), a virtual-memory extension (vmm), the
+// component repository (repoz), the monolithic-kernel baseline
+// (baseline), monitoring tools (trace) and the experiment harness
+// (bench).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for results.
+package paramecium

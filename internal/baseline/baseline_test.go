@@ -1,0 +1,159 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"paramecium/internal/clock"
+	"paramecium/internal/hw"
+	"paramecium/internal/netstack"
+)
+
+func newMonolith() (*Monolith, *hw.Machine) {
+	m := hw.New(hw.Config{PhysFrames: 16})
+	return New(m), m
+}
+
+func TestSyscallPath(t *testing.T) {
+	mono, machine := newMonolith()
+	if err := mono.AddService("getpid", func(...any) ([]any, error) {
+		return []any{42}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mono.Seal()
+	res, err := mono.Syscall("getpid")
+	if err != nil || res[0].(int) != 42 {
+		t.Fatalf("getpid = %v, %v", res, err)
+	}
+	if machine.Meter.Count(clock.OpTrapEnter) != 1 || machine.Meter.Count(clock.OpTrapExit) != 1 {
+		t.Fatal("syscall did not charge trap entry/exit")
+	}
+	if mono.Calls() != 1 {
+		t.Fatalf("calls = %d", mono.Calls())
+	}
+}
+
+func TestSyscallUnknownService(t *testing.T) {
+	mono, _ := newMonolith()
+	mono.Seal()
+	if _, err := mono.Syscall("nope"); !errors.Is(err, ErrNoService) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSealedKernelRejectsNewServices(t *testing.T) {
+	mono, _ := newMonolith()
+	mono.Seal()
+	if !mono.Sealed() {
+		t.Fatal("not sealed")
+	}
+	if err := mono.AddService("late", func(...any) ([]any, error) { return nil, nil }); !errors.Is(err, ErrSealed) {
+		t.Fatalf("late add: %v", err)
+	}
+}
+
+func TestAddServiceValidation(t *testing.T) {
+	mono, _ := newMonolith()
+	if err := mono.AddService("x", nil); err == nil {
+		t.Fatal("nil service accepted")
+	}
+	if err := mono.AddService("x", func(...any) ([]any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := mono.AddService("x", func(...any) ([]any, error) { return nil, nil }); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestSyscallChargesCopyBySize(t *testing.T) {
+	mono, machine := newMonolith()
+	if err := mono.AddService("write", func(args ...any) ([]any, error) {
+		return []any{len(args[0].([]byte))}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mono.Seal()
+	machine.Meter.ResetCounts()
+	if _, err := mono.Syscall("write", make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	small := machine.Meter.Count(clock.OpCopyWord)
+	machine.Meter.ResetCounts()
+	if _, err := mono.Syscall("write", make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	big := machine.Meter.Count(clock.OpCopyWord)
+	if big <= small {
+		t.Fatalf("copy charge did not scale: %d vs %d", small, big)
+	}
+}
+
+func frame(port uint16, payload []byte) []byte {
+	return netstack.BuildUDPFrame(
+		netstack.MAC{2, 0, 0, 0, 0, 1}, netstack.MAC{2, 0, 0, 0, 0, 2},
+		netstack.IP{10, 0, 0, 2}, netstack.IP{10, 0, 0, 1},
+		500, port, payload)
+}
+
+func TestNetPathFixedFilter(t *testing.T) {
+	mono, _ := newMonolith()
+	mono.Seal()
+	p := NewNetPath(mono, 7)
+	p.Deliver(frame(7, []byte("keep")))
+	p.Deliver(frame(8, []byte("toss")))
+	p.Deliver([]byte("junk"))
+	delivered, dropped := p.Stats()
+	if delivered != 1 || dropped != 2 {
+		t.Fatalf("stats = %d/%d", delivered, dropped)
+	}
+	payload, ok := p.Recv()
+	if !ok || string(payload) != "keep" {
+		t.Fatalf("recv = %q, %v", payload, ok)
+	}
+	if _, ok := p.Recv(); ok {
+		t.Fatal("phantom payload")
+	}
+}
+
+func TestNetPathUserFilterPaysSyscall(t *testing.T) {
+	mono, machine := newMonolith()
+	userFilter := func(f []byte) bool { return len(f) > 0 }
+	if err := mono.AddService("netpath.filter_upcall", func(args ...any) ([]any, error) {
+		return []any{userFilter(args[0].([]byte))}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mono.Seal()
+	p := NewNetPath(mono, 7)
+
+	machine.Meter.ResetCounts()
+	p.Deliver(frame(7, []byte("fast")))
+	if machine.Meter.Count(clock.OpTrapEnter) != 0 {
+		t.Fatal("fixed path trapped")
+	}
+	p.DeliverViaUserFilter(frame(7, []byte("slow")), userFilter)
+	if machine.Meter.Count(clock.OpTrapEnter) != 1 {
+		t.Fatal("user-filter path did not trap")
+	}
+	delivered, _ := p.Stats()
+	if delivered != 2 {
+		t.Fatalf("delivered = %d", delivered)
+	}
+}
+
+func TestNetPathUserFilterReject(t *testing.T) {
+	mono, _ := newMonolith()
+	if err := mono.AddService("netpath.filter_upcall", func(args ...any) ([]any, error) {
+		return []any{false}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mono.Seal()
+	p := NewNetPath(mono, 7)
+	p.DeliverViaUserFilter(frame(7, []byte("x")), nil)
+	delivered, dropped := p.Stats()
+	if delivered != 0 || dropped != 1 {
+		t.Fatalf("stats = %d/%d", delivered, dropped)
+	}
+}

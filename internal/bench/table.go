@@ -1,0 +1,96 @@
+// Package bench is the experiment harness: one function per
+// claim-derived table or figure (see DESIGN.md §4), each returning a
+// Table of deterministic virtual-cycle measurements. The same
+// functions back the root-level testing.B benchmarks and the
+// cmd/benchtab executable that regenerates every experiment as text.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID     string // experiment id, e.g. "T1"
+	Title  string
+	Claim  string // the paper sentence this operationalizes
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cols ...any) {
+	row := make([]string, len(cols))
+	for i, c := range cols {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cols []string) {
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// All runs every experiment and returns the tables in report order.
+func All() []Table {
+	return []Table{
+		T1Invocation(),
+		T2CrossDomain(),
+		T3Interrupt(),
+		T4Certification(),
+		T5FilterPlacement(),
+		T6Reconfiguration(),
+		F1Throughput(),
+		F2BreakEven(),
+		F3BlockingFraction(),
+		F4Namespace(),
+		F5TrapCostSweep(),
+	}
+}

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+
+	"paramecium/internal/cert"
+	"paramecium/internal/core"
+	"paramecium/internal/netstack"
+	"paramecium/internal/repoz"
+	"paramecium/internal/sandbox"
+)
+
+// World is a booted kernel plus trust infrastructure, shared by the
+// experiments.
+type World struct {
+	K     *core.Kernel
+	Auth  *cert.Authority
+	Admin *cert.KeyCertifier
+}
+
+// NewWorld boots a fresh world. Panics on setup failure: the harness
+// cannot proceed without a kernel, and every failure here is a
+// programming error, not an experimental outcome.
+func NewWorld() *World {
+	auth := cert.NewAuthority(0xB007)
+	k, err := core.Boot(core.Config{AuthorityKey: auth.PublicKey()})
+	if err != nil {
+		panic(fmt.Sprintf("bench: boot: %v", err))
+	}
+	admin := cert.NewKeyCertifier("sysadmin", cert.GenerateKey(0xADD1),
+		cert.PrivKernelResident|cert.PrivDeviceAccess|cert.PrivSharedService)
+	if err := k.Validator.AddDelegation(auth.Delegate("sysadmin", admin.Key().Pub,
+		cert.PrivKernelResident|cert.PrivDeviceAccess|cert.PrivSharedService)); err != nil {
+		panic(fmt.Sprintf("bench: delegation: %v", err))
+	}
+	return &World{K: k, Auth: auth, Admin: admin}
+}
+
+// AddPVM stores a PVM program in the repository under name, certified
+// for kernel residence when certified is true.
+func (w *World) AddPVM(name, src string, certified bool) {
+	prog := sandbox.MustAssemble(src)
+	img := &repoz.Image{Name: name, Kind: repoz.KindPVM, Data: prog.Encode()}
+	if certified {
+		c, err := w.Admin.Certify(name, img.Data, cert.PrivKernelResident)
+		if err != nil {
+			panic(fmt.Sprintf("bench: certify: %v", err))
+		}
+		img.Cert = c
+	}
+	if err := w.K.Repo.Add(img); err != nil {
+		panic(fmt.Sprintf("bench: repo add: %v", err))
+	}
+}
+
+// Frame builds a UDP test frame addressed to port with a payload of
+// the given size.
+func Frame(port uint16, payloadSize int) []byte {
+	return netstack.BuildUDPFrame(
+		netstack.MAC{2, 0, 0, 0, 0, 1}, netstack.MAC{2, 0, 0, 0, 0, 2},
+		netstack.IP{10, 0, 0, 2}, netstack.IP{10, 0, 0, 1},
+		999, port, make([]byte, payloadSize))
+}
+
+// perOp measures the virtual cycles per iteration of fn over n runs.
+func perOp(w *World, n int, fn func()) uint64 {
+	watch := w.K.Meter.Clock.StartWatch()
+	for i := 0; i < n; i++ {
+		fn()
+	}
+	return watch.Elapsed() / uint64(n)
+}

@@ -1,0 +1,114 @@
+package cert
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrRefused is returned by a Certifier that declines a component
+// without implying the component is bad — "when the automatic program
+// correctness prover decides that it cannot complete the proof, it
+// might turn the problem over to the system administrator." The escape
+// hatch falls through to the next delegate on ErrRefused.
+var ErrRefused = errors.New("cert: certifier refused")
+
+// Certifier is a certification delegate: something that can examine a
+// component image and issue a certificate for it. Delegates may be
+// programs (type-safe compilers, correctness provers), test teams, or
+// people; here they are all modelled as policy functions over the
+// image plus a signing key with a delegation.
+type Certifier interface {
+	// Name returns the delegate name (must match its Delegation).
+	Name() string
+	// Certify examines image and either issues a certificate with
+	// privileges up to the delegate's mask, returns ErrRefused to pass
+	// the decision on, or returns another error to abort.
+	Certify(component string, image []byte, want Privilege) (*Certificate, error)
+}
+
+// KeyCertifier certifies anything presented to it, up to its privilege
+// mask — the model of a human administrator who hand-checks components
+// out of band. An optional Policy can restrict it.
+type KeyCertifier struct {
+	name string
+	key  KeyPair
+	max  Privilege
+	// Policy, if non-nil, inspects the image; returning false refuses
+	// certification (ErrRefused). This models delegates with a limited
+	// application domain, e.g. a compiler that only recognizes its own
+	// output format.
+	Policy func(component string, image []byte) bool
+}
+
+// NewKeyCertifier builds a certifier signing with key and bounded by
+// max.
+func NewKeyCertifier(name string, key KeyPair, max Privilege) *KeyCertifier {
+	return &KeyCertifier{name: name, key: key, max: max}
+}
+
+// Name implements Certifier.
+func (k *KeyCertifier) Name() string { return k.name }
+
+// Key returns the certifier's key pair (needed to register chains).
+func (k *KeyCertifier) Key() KeyPair { return k.key }
+
+// Certify implements Certifier.
+func (k *KeyCertifier) Certify(component string, image []byte, want Privilege) (*Certificate, error) {
+	if !k.max.Has(want) {
+		return nil, fmt.Errorf("%w: %q cannot grant %v (max %v)", ErrRefused, k.name, want, k.max)
+	}
+	if k.Policy != nil && !k.Policy(component, image) {
+		return nil, fmt.Errorf("%w: %q policy rejected %q", ErrRefused, k.name, component)
+	}
+	c := &Certificate{
+		Component: component,
+		Digest:    DigestImage(nil, image),
+		Privilege: want,
+		Issuer:    k.name,
+	}
+	c.Signature = k.key.Sign(c.SigningBytes())
+	return c, nil
+}
+
+// EscapeHatch is an ordered list of certifiers tried in preference
+// order. "These subordinates may be ordered in preference and provide
+// an escape hatch if one of the subordinates fails to certify."
+type EscapeHatch struct {
+	certifiers []Certifier
+}
+
+// NewEscapeHatch builds the chain in the given preference order.
+func NewEscapeHatch(certifiers ...Certifier) *EscapeHatch {
+	return &EscapeHatch{certifiers: certifiers}
+}
+
+// Certify tries each delegate in order. Refusals fall through; any
+// other error aborts immediately. If every delegate refuses, the
+// joined refusal errors are returned (wrapping ErrRefused).
+func (e *EscapeHatch) Certify(component string, image []byte, want Privilege) (*Certificate, error) {
+	if len(e.certifiers) == 0 {
+		return nil, fmt.Errorf("%w: no certifiers configured", ErrRefused)
+	}
+	var refusals []error
+	for _, c := range e.certifiers {
+		cert, err := c.Certify(component, image, want)
+		if err == nil {
+			return cert, nil
+		}
+		if errors.Is(err, ErrRefused) {
+			refusals = append(refusals, err)
+			continue
+		}
+		return nil, fmt.Errorf("cert: delegate %q failed: %w", c.Name(), err)
+	}
+	return nil, errors.Join(refusals...)
+}
+
+// Names lists the delegates in preference order.
+func (e *EscapeHatch) Names() []string {
+	out := make([]string, len(e.certifiers))
+	for i, c := range e.certifiers {
+		out[i] = c.Name()
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+// Package clock provides the virtual time base for the simulated machine.
+//
+// Every component of the Paramecium reproduction charges work against a
+// shared Clock, expressed in cycles of a SPARC-flavoured processor. This
+// keeps the benchmark results deterministic: the *shape* of every
+// experiment (who wins, where the crossover falls) depends only on the
+// cost model, not on the host machine.
+package clock
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Clock is a monotonically increasing virtual cycle counter. It is safe
+// for concurrent use; all mutation goes through atomic operations.
+type Clock struct {
+	cycles atomic.Uint64
+}
+
+// New returns a Clock starting at cycle zero.
+func New() *Clock {
+	return &Clock{}
+}
+
+// Now reports the current cycle count.
+func (c *Clock) Now() uint64 {
+	return c.cycles.Load()
+}
+
+// Advance adds n cycles to the clock and returns the new time.
+func (c *Clock) Advance(n uint64) uint64 {
+	return c.cycles.Add(n)
+}
+
+// Reset rewinds the clock to zero. Only tests and the benchmark harness
+// should call this; live subsystems assume time never goes backwards.
+func (c *Clock) Reset() {
+	c.cycles.Store(0)
+}
+
+// Stopwatch measures an interval on a Clock.
+type Stopwatch struct {
+	clock *Clock
+	start uint64
+}
+
+// StartWatch begins an interval measurement.
+func (c *Clock) StartWatch() Stopwatch {
+	return Stopwatch{clock: c, start: c.Now()}
+}
+
+// Elapsed reports the cycles consumed since the stopwatch started.
+func (s Stopwatch) Elapsed() uint64 {
+	return s.clock.Now() - s.start
+}
+
+// Op identifies a privileged or otherwise costed machine operation.
+type Op int
+
+// The costed operations. The set covers every privileged transition the
+// paper's mechanisms exercise: trap entry/exit, interrupt dispatch,
+// context switches, TLB traffic, page-table walks, cache-line copies and
+// the per-check overhead of software fault isolation.
+const (
+	OpTrapEnter     Op = iota // user→kernel trap entry
+	OpTrapExit                // kernel→user return
+	OpInterrupt               // interrupt vectoring
+	OpCtxSwitch               // MMU context switch
+	OpTLBMiss                 // TLB refill from page table
+	OpTLBFlush                // full TLB flush
+	OpPageFault               // fault decode and dispatch (excl. trap)
+	OpCall                    // procedure call overhead
+	OpIndirect                // indirect (interface) call overhead
+	OpCopyWord                // copy one 8-byte word across domains
+	OpSFICheck                // one software fault-isolation check
+	OpVMInstr                 // one interpreted PVM instruction
+	OpDigestBlock             // digest one 64-byte block
+	OpSigVerify               // one public-key signature verification
+	OpThreadCreate            // full thread creation
+	OpProtoThread             // proto-thread creation (lazy)
+	OpPromote                 // proto-thread → real thread promotion
+	OpSchedule                // scheduler dispatch decision
+	OpNameLookupHop           // one hop in a name-space lookup
+	opCount
+)
+
+var opNames = [...]string{
+	OpTrapEnter:     "trap-enter",
+	OpTrapExit:      "trap-exit",
+	OpInterrupt:     "interrupt",
+	OpCtxSwitch:     "ctx-switch",
+	OpTLBMiss:       "tlb-miss",
+	OpTLBFlush:      "tlb-flush",
+	OpPageFault:     "page-fault",
+	OpCall:          "call",
+	OpIndirect:      "indirect-call",
+	OpCopyWord:      "copy-word",
+	OpSFICheck:      "sfi-check",
+	OpVMInstr:       "vm-instr",
+	OpDigestBlock:   "digest-block",
+	OpSigVerify:     "sig-verify",
+	OpThreadCreate:  "thread-create",
+	OpProtoThread:   "proto-thread",
+	OpPromote:       "promote",
+	OpSchedule:      "schedule",
+	OpNameLookupHop: "name-hop",
+}
+
+// String returns the mnemonic for the operation.
+func (o Op) String() string {
+	if o < 0 || int(o) >= len(opNames) {
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+	return opNames[o]
+}
+
+// NumOps is the number of distinct costed operations.
+const NumOps = int(opCount)
+
+// CostModel maps each operation to its cost in cycles. A nil or zero
+// entry means the operation is free. Cost models are value types; copy
+// one, tweak a field, and hand it to a new Machine to run an ablation.
+type CostModel struct {
+	Costs [NumOps]uint64
+}
+
+// DefaultCosts returns the SPARC-flavoured default cost model used by all
+// experiments unless a sweep overrides individual entries. The ratios —
+// not the absolute values — are what the paper's arguments depend on:
+// traps and context switches are two orders of magnitude more expensive
+// than procedure calls, and an SFI check costs a handful of cycles on
+// every memory reference.
+func DefaultCosts() CostModel {
+	var m CostModel
+	m.Costs[OpTrapEnter] = 120
+	m.Costs[OpTrapExit] = 80
+	m.Costs[OpInterrupt] = 100
+	m.Costs[OpCtxSwitch] = 200
+	m.Costs[OpTLBMiss] = 30
+	m.Costs[OpTLBFlush] = 90
+	m.Costs[OpPageFault] = 60
+	m.Costs[OpCall] = 2
+	m.Costs[OpIndirect] = 6
+	m.Costs[OpCopyWord] = 1
+	m.Costs[OpSFICheck] = 4
+	m.Costs[OpVMInstr] = 3
+	m.Costs[OpDigestBlock] = 48
+	m.Costs[OpSigVerify] = 42000
+	m.Costs[OpThreadCreate] = 900
+	m.Costs[OpProtoThread] = 40
+	m.Costs[OpPromote] = 500
+	m.Costs[OpSchedule] = 70
+	m.Costs[OpNameLookupHop] = 15
+	return m
+}
+
+// Cost reports the cycle cost of one operation.
+func (m *CostModel) Cost(op Op) uint64 {
+	if op < 0 || int(op) >= NumOps {
+		return 0
+	}
+	return m.Costs[op]
+}
+
+// WithCost returns a copy of the model with one entry replaced. Useful
+// for parameter sweeps:
+//
+//	m := clock.DefaultCosts().WithCost(clock.OpTrapEnter, 500)
+func (m CostModel) WithCost(op Op, cycles uint64) CostModel {
+	if op >= 0 && int(op) < NumOps {
+		m.Costs[op] = cycles
+	}
+	return m
+}
+
+// Meter couples a Clock with a CostModel and per-operation counters.
+// Subsystems hold a *Meter and call Charge for every costed operation.
+type Meter struct {
+	Clock *Clock
+	Model CostModel
+	tally [NumOps]atomic.Uint64
+}
+
+// NewMeter builds a Meter over a fresh clock and the given model.
+func NewMeter(model CostModel) *Meter {
+	return &Meter{Clock: New(), Model: model}
+}
+
+// Charge advances the clock by the cost of op and counts the event.
+func (m *Meter) Charge(op Op) {
+	m.ChargeN(op, 1)
+}
+
+// ChargeN charges n occurrences of op at once.
+func (m *Meter) ChargeN(op Op, n uint64) {
+	if n == 0 {
+		return
+	}
+	if c := m.Model.Cost(op); c != 0 {
+		m.Clock.Advance(c * n)
+	}
+	if op >= 0 && int(op) < NumOps {
+		m.tally[op].Add(n)
+	}
+}
+
+// Count reports how many times op has been charged.
+func (m *Meter) Count(op Op) uint64 {
+	if op < 0 || int(op) >= NumOps {
+		return 0
+	}
+	return m.tally[op].Load()
+}
+
+// ResetCounts zeroes the per-operation counters (the clock keeps
+// running; virtual time is monotonic).
+func (m *Meter) ResetCounts() {
+	for i := range m.tally {
+		m.tally[i].Store(0)
+	}
+}
+
+// Snapshot returns a copy of all counters, indexed by Op.
+func (m *Meter) Snapshot() [NumOps]uint64 {
+	var out [NumOps]uint64
+	for i := range m.tally {
+		out[i] = m.tally[i].Load()
+	}
+	return out
+}

@@ -1,0 +1,302 @@
+// Package core is the Paramecium nucleus: "a protected and trusted
+// component which implements only those services that cannot be moved
+// into the application without jeopardizing the system's integrity."
+//
+// The kernel is itself a static (link-time) composition of the four
+// nucleus services — processor event management, memory management,
+// the directory service and the certification service — assembled at
+// Boot. Everything else (thread package, drivers, protocol stacks,
+// virtual memory) is an ordinary component loaded from the repository
+// into whichever protection domain its certificate allows.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"paramecium/internal/cert"
+	"paramecium/internal/clock"
+	"paramecium/internal/event"
+	"paramecium/internal/hw"
+	"paramecium/internal/mem"
+	"paramecium/internal/mmu"
+	"paramecium/internal/names"
+	"paramecium/internal/obj"
+	"paramecium/internal/proxy"
+	"paramecium/internal/repoz"
+	"paramecium/internal/threads"
+)
+
+// Well-known name-space paths.
+const (
+	PathNucleus  = "/nucleus"
+	PathServices = "/services"
+	PathDevices  = "/devices"
+)
+
+// Errors.
+var (
+	ErrNotCertified = errors.New("core: component not certified for requested placement")
+	ErrNoSuchDomain = errors.New("core: no such domain")
+)
+
+// Config controls kernel construction.
+type Config struct {
+	// Machine configures the simulated hardware (defaults apply).
+	Machine hw.Config
+	// AuthorityKey is the certification authority's public key the
+	// kernel trusts. Zero-length means certification is disabled and
+	// every kernel placement request fails closed.
+	AuthorityKey []byte
+}
+
+// Kernel is a booted Paramecium system.
+type Kernel struct {
+	Machine   *hw.Machine
+	Meter     *clock.Meter
+	Mem       *mem.Service
+	Events    *event.Service
+	Sched     *threads.Scheduler
+	Space     *names.Space
+	RootView  *names.View
+	Validator *cert.Validator
+	Repo      *repoz.Repository
+	Proxies   *proxy.Factory
+	// Nucleus is the static composition holding the four services.
+	Nucleus *obj.Composition
+
+	mu        sync.Mutex
+	placement map[obj.Instance]mmu.ContextID // where each registered instance lives
+	domains   map[mmu.ContextID]*Domain
+}
+
+// Boot assembles a kernel: machine, the four nucleus services, the
+// root of the name space, and an empty repository.
+func Boot(cfg Config) (*Kernel, error) {
+	machine := hw.New(cfg.Machine)
+	meter := machine.Meter
+	memSvc := mem.New(machine)
+	sched := threads.NewScheduler(meter)
+	events := event.New(machine, sched)
+	space := names.NewSpace(meter)
+	validator := cert.NewValidator(meter, cfg.AuthorityKey)
+
+	k := &Kernel{
+		Machine:   machine,
+		Meter:     meter,
+		Mem:       memSvc,
+		Events:    events,
+		Sched:     sched,
+		Space:     space,
+		RootView:  names.RootView(space),
+		Validator: validator,
+		Repo:      repoz.New(),
+		Proxies:   proxy.NewFactory(memSvc, 0),
+		placement: make(map[obj.Instance]mmu.ContextID),
+		domains:   make(map[mmu.ContextID]*Domain),
+	}
+
+	// The nucleus is the only static composition in the system.
+	nucleus := obj.NewStaticComposition("paramecium.nucleus", meter)
+	for role, inst := range map[string]obj.Instance{
+		"events":    nucleusFacade("nucleus.events", meter),
+		"memory":    nucleusFacade("nucleus.memory", meter),
+		"directory": nucleusFacade("nucleus.directory", meter),
+		"certify":   nucleusFacade("nucleus.certify", meter),
+	} {
+		if err := nucleus.AddChild(role, inst); err != nil {
+			return nil, err
+		}
+		if err := space.Register(names.Join(PathNucleus, role), inst); err != nil {
+			return nil, err
+		}
+	}
+	k.Nucleus = nucleus
+	return k, nil
+}
+
+// nucleusFacade builds the name-space face of one nucleus service. The
+// actual service logic lives in the typed Go APIs (k.Mem, k.Events,
+// ...); the facade object is what shows up in /nucleus so components
+// can late-bind and interpose on it like on anything else.
+func nucleusFacade(class string, meter *clock.Meter) obj.Instance {
+	o := obj.NewStatic(class, meter)
+	decl := obj.MustInterfaceDecl(class+".v1",
+		obj.MethodDecl{Name: "describe", NumIn: 0, NumOut: 1},
+	)
+	bi, err := o.AddInterface(decl, nil)
+	if err != nil {
+		panic(err) // static construction; cannot fail at run time
+	}
+	bi.MustBind("describe", func(...any) ([]any, error) {
+		return []any{class}, nil
+	})
+	return o
+}
+
+// Domain is an application protection domain with its own view of the
+// name space (inherited from the root view, reconfigurable with
+// overrides).
+type Domain struct {
+	Name string
+	Ctx  mmu.ContextID
+	View *names.View
+
+	kernel *Kernel
+	mu     sync.Mutex
+	prox   map[obj.Instance]*proxy.Proxy // bind cache
+}
+
+// NewDomain creates an application protection domain.
+func (k *Kernel) NewDomain(name string) *Domain {
+	ctx := k.Mem.NewDomain()
+	d := &Domain{
+		Name:   name,
+		Ctx:    ctx,
+		View:   k.RootView.Child(),
+		kernel: k,
+		prox:   make(map[obj.Instance]*proxy.Proxy),
+	}
+	k.mu.Lock()
+	k.domains[ctx] = d
+	k.mu.Unlock()
+	return d
+}
+
+// DestroyDomain tears a domain down.
+func (k *Kernel) DestroyDomain(d *Domain) error {
+	k.mu.Lock()
+	if _, ok := k.domains[d.Ctx]; !ok {
+		k.mu.Unlock()
+		return ErrNoSuchDomain
+	}
+	delete(k.domains, d.Ctx)
+	for inst, ctx := range k.placement {
+		if ctx == d.Ctx {
+			delete(k.placement, inst)
+		}
+	}
+	k.mu.Unlock()
+	d.mu.Lock()
+	for _, p := range d.prox {
+		_ = p.Close()
+	}
+	d.prox = nil
+	d.mu.Unlock()
+	return k.Mem.DestroyDomain(d.Ctx)
+}
+
+// registerPlacement records which context an instance lives in.
+func (k *Kernel) registerPlacement(inst obj.Instance, ctx mmu.ContextID) {
+	k.mu.Lock()
+	k.placement[inst] = ctx
+	k.mu.Unlock()
+}
+
+// PlacementOf reports the context an instance was registered under
+// (kernel context if never registered).
+func (k *Kernel) PlacementOf(inst obj.Instance) mmu.ContextID {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.placement[inst]
+}
+
+// Register places an instance in the name space, recording its
+// protection domain.
+func (k *Kernel) Register(path string, inst obj.Instance, ctx mmu.ContextID) error {
+	if err := k.Space.Register(path, inst); err != nil {
+		return err
+	}
+	k.registerPlacement(inst, ctx)
+	return nil
+}
+
+// Bind resolves path in the domain's view. If the instance lives in
+// another protection domain, a proxy appears — "importing an object
+// from another protection domain, by means of the directory service,
+// causes a proxy to appear." Binds from the kernel domain to kernel
+// instances (and within the same domain) are direct.
+func (d *Domain) Bind(path string) (obj.Instance, error) {
+	inst, err := d.View.Bind(path)
+	if err != nil {
+		return nil, err
+	}
+	home := d.kernel.PlacementOf(inst)
+	if home == d.Ctx {
+		return inst, nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if p, ok := d.prox[inst]; ok {
+		return p, nil
+	}
+	p, err := d.kernel.Proxies.New(d.Ctx, home, inst)
+	if err != nil {
+		return nil, err
+	}
+	d.prox[inst] = p
+	return p, nil
+}
+
+// BindInterface is Bind followed by interface selection.
+func (d *Domain) BindInterface(path, iface string) (obj.Invoker, error) {
+	inst, err := d.Bind(path)
+	if err != nil {
+		return nil, err
+	}
+	iv, ok := inst.Iface(iface)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q on %q", obj.ErrNoInterface, iface, path)
+	}
+	return iv, nil
+}
+
+// KernelBind resolves a path for kernel-resident callers: instances in
+// the kernel context are returned directly; instances in application
+// domains are reached through a proxy owned by the kernel context.
+func (k *Kernel) KernelBind(path string) (obj.Instance, error) {
+	inst, err := k.RootView.Bind(path)
+	if err != nil {
+		return nil, err
+	}
+	home := k.PlacementOf(inst)
+	if home == mmu.KernelContext {
+		return inst, nil
+	}
+	return k.Proxies.New(mmu.KernelContext, home, inst)
+}
+
+// Interpose replaces the instance at path with an interposing agent
+// wrapping it, returning the agent. All future binds resolve to the
+// agent; existing direct references are unaffected (exactly the
+// semantics of handle replacement in the paper).
+func (k *Kernel) Interpose(path string, build func(target obj.Instance) (obj.Instance, error)) (obj.Instance, error) {
+	target, err := k.RootView.Bind(path)
+	if err != nil {
+		return nil, err
+	}
+	agent, err := build(target)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := k.Space.Replace(path, agent); err != nil {
+		return nil, err
+	}
+	k.registerPlacement(agent, k.PlacementOf(target))
+	return agent, nil
+}
+
+// Unwrap undoes an interposition by restoring the wrapped target.
+func (k *Kernel) Unwrap(path string) error {
+	cur, err := k.RootView.Bind(path)
+	if err != nil {
+		return err
+	}
+	ip, ok := cur.(*obj.Interposer)
+	if !ok {
+		return fmt.Errorf("core: %q is not interposed", path)
+	}
+	_, err = k.Space.Replace(path, ip.Target())
+	return err
+}

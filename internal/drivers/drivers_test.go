@@ -1,0 +1,260 @@
+package drivers
+
+import (
+	"testing"
+
+	"paramecium/internal/event"
+	"paramecium/internal/hw"
+	"paramecium/internal/mem"
+	"paramecium/internal/mmu"
+	"paramecium/internal/threads"
+)
+
+type rig struct {
+	machine *hw.Machine
+	svc     *mem.Service
+	evt     *event.Service
+	sched   *threads.Scheduler
+}
+
+func newRig() *rig {
+	m := hw.New(hw.Config{PhysFrames: 64})
+	svc := mem.New(m)
+	sched := threads.NewScheduler(m.Meter)
+	return &rig{machine: m, svc: svc, evt: event.New(m, sched), sched: sched}
+}
+
+func (r *rig) newNIC(t *testing.T) *hw.NIC {
+	t.Helper()
+	nic := hw.NewNIC("net0", 4)
+	if err := r.machine.AttachDevice(nic); err != nil {
+		t.Fatal(err)
+	}
+	return nic
+}
+
+func TestNetDriverReceivePath(t *testing.T) {
+	r := newRig()
+	nic := r.newNIC(t)
+	d, err := NewNetDriver("netdrv", nic, r.svc, r.evt, NetDriverConfig{
+		Ctx: mmu.KernelContext, Dispatch: event.DispatchProto, IOMode: mem.IOExclusive,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nic.Inject([]byte("hello wire")); err != nil {
+		t.Fatal(err)
+	}
+	// Proto dispatch drained the ring inline during the interrupt.
+	if nic.Pending() != 0 {
+		t.Fatal("ring not drained by interrupt")
+	}
+	frame, ok := d.Recv()
+	if !ok || string(frame) != "hello wire" {
+		t.Fatalf("Recv = %q, %v", frame, ok)
+	}
+	if _, ok := d.Recv(); ok {
+		t.Fatal("phantom frame")
+	}
+	rx, _, _ := d.Stats()
+	if rx != 1 {
+		t.Fatalf("rx = %d", rx)
+	}
+}
+
+func TestNetDriverBurstDrain(t *testing.T) {
+	r := newRig()
+	nic := r.newNIC(t)
+	d, err := NewNetDriver("netdrv", nic, r.svc, r.evt, NetDriverConfig{
+		Ctx: mmu.KernelContext, Dispatch: event.DispatchRaw, IOMode: mem.IOExclusive,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mask the IRQ so several frames pile up in the ring, then unmask:
+	// a single delivery must drain all of them.
+	if err := r.machine.MaskIRQ(nic.IRQ()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := nic.Inject([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.machine.UnmaskIRQ(nic.IRQ()); err != nil {
+		t.Fatal(err)
+	}
+	if d.QueueLen() != 5 {
+		t.Fatalf("queue = %d", d.QueueLen())
+	}
+	for i := 0; i < 5; i++ {
+		frame, ok := d.Recv()
+		if !ok || frame[0] != byte(i) {
+			t.Fatalf("frame %d = %v, %v", i, frame, ok)
+		}
+	}
+}
+
+func TestNetDriverSend(t *testing.T) {
+	r := newRig()
+	nic := r.newNIC(t)
+	var sent []byte
+	nic.SetTxSink(func(f []byte) { sent = f })
+	d, err := NewNetDriver("netdrv", nic, r.svc, r.evt, NetDriverConfig{
+		Ctx: mmu.KernelContext, Dispatch: event.DispatchProto, IOMode: mem.IOExclusive,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Send([]byte("outbound")); err != nil {
+		t.Fatal(err)
+	}
+	if string(sent) != "outbound" {
+		t.Fatalf("sent %q", sent)
+	}
+	_, tx, _ := d.Stats()
+	if tx != 1 {
+		t.Fatalf("tx = %d", tx)
+	}
+	if err := d.Send(make([]byte, hw.NICSlotSize+1)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestNetDriverObjectInterface(t *testing.T) {
+	r := newRig()
+	nic := r.newNIC(t)
+	var sent []byte
+	nic.SetTxSink(func(f []byte) { sent = f })
+	d, err := NewNetDriver("netdrv", nic, r.svc, r.evt, NetDriverConfig{
+		Ctx: mmu.KernelContext, Dispatch: event.DispatchProto, IOMode: mem.IOExclusive,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, ok := d.Iface(NetDevIface)
+	if !ok {
+		t.Fatal("netdev interface missing")
+	}
+	if _, err := iv.Invoke("send", []byte("via-iface")); err != nil {
+		t.Fatal(err)
+	}
+	if string(sent) != "via-iface" {
+		t.Fatalf("sent %q", sent)
+	}
+	if _, err := iv.Invoke("send", 42); err == nil {
+		t.Fatal("non-[]byte frame accepted")
+	}
+	if err := nic.Inject([]byte("in")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := iv.Invoke("recv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res[0].([]byte)) != "in" {
+		t.Fatalf("recv = %v", res)
+	}
+	res, err = iv.Invoke("stats")
+	if err != nil || len(res) != 3 {
+		t.Fatalf("stats = %v, %v", res, err)
+	}
+}
+
+func TestNetDriverExclusiveIO(t *testing.T) {
+	r := newRig()
+	nic := r.newNIC(t)
+	if _, err := NewNetDriver("drv1", nic, r.svc, r.evt, NetDriverConfig{
+		Ctx: mmu.KernelContext, Dispatch: event.DispatchProto, IOMode: mem.IOExclusive,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A second exclusive driver on the same device must fail.
+	if _, err := NewNetDriver("drv2", nic, r.svc, r.evt, NetDriverConfig{
+		Ctx: mmu.KernelContext, Dispatch: event.DispatchProto, IOMode: mem.IOExclusive,
+	}); err == nil {
+		t.Fatal("second exclusive driver accepted")
+	}
+}
+
+func TestNetDriverClose(t *testing.T) {
+	r := newRig()
+	nic := r.newNIC(t)
+	d, err := NewNetDriver("netdrv", nic, r.svc, r.evt, NetDriverConfig{
+		Ctx: mmu.KernelContext, Dispatch: event.DispatchProto, IOMode: mem.IOExclusive,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(r.svc); err != nil {
+		t.Fatal(err)
+	}
+	// Resources are free for a replacement driver.
+	if _, err := NewNetDriver("netdrv2", nic, r.svc, r.evt, NetDriverConfig{
+		Ctx: mmu.KernelContext, Dispatch: event.DispatchProto, IOMode: mem.IOExclusive,
+	}); err != nil {
+		t.Fatalf("replacement driver: %v", err)
+	}
+}
+
+func TestTimerDriver(t *testing.T) {
+	r := newRig()
+	timer := hw.NewTimer("timer0", 1, r.machine.Meter.Clock)
+	if err := r.machine.AttachDevice(timer); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewTimerDriver("timerdrv", timer, r.svc, r.evt, TimerDriverConfig{
+		Ctx: mmu.KernelContext, Dispatch: event.DispatchRaw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tickeds := 0
+	d.Subscribe(func() { tickeds++ })
+
+	iv, _ := d.Iface(TimerIface)
+	if _, err := iv.Invoke("program", uint64(100)); err != nil {
+		t.Fatal(err)
+	}
+	r.machine.Meter.Clock.Advance(350)
+	res, err := iv.Invoke("poll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].(int) != 3 {
+		t.Fatalf("poll fired %v", res)
+	}
+	if d.Ticks() != 3 || tickeds != 3 {
+		t.Fatalf("ticks = %d, subscriber saw %d", d.Ticks(), tickeds)
+	}
+	res, _ = iv.Invoke("ticks")
+	if res[0].(uint64) != 3 {
+		t.Fatalf("ticks via iface = %v", res)
+	}
+	if _, err := iv.Invoke("program", "not-a-uint"); err == nil {
+		t.Fatal("bad program arg accepted")
+	}
+}
+
+func TestConsoleDriver(t *testing.T) {
+	r := newRig()
+	cons := hw.NewConsole("cons0", 2)
+	if err := r.machine.AttachDevice(cons); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewConsoleDriver("consdrv", cons, r.svc, mmu.KernelContext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := d.Write("hello, console\n")
+	if err != nil || n != 15 {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if got := cons.Contents(); got != "hello, console\n" {
+		t.Fatalf("console = %q", got)
+	}
+	iv, _ := d.Iface(ConsoleIface)
+	if _, err := iv.Invoke("write", 99); err == nil {
+		t.Fatal("non-string write accepted")
+	}
+}

@@ -1,0 +1,265 @@
+// Package event implements the nucleus' processor event management
+// service: "All processor events (traps and interrupts) are handled by
+// this service. Components can register call-backs which are called
+// every time a specified processor event occurs. A call-back consists
+// of a context, and the address of a call-back function."
+//
+// Events are "usually redirected to the thread system to turn them
+// into pop-up threads"; the service supports three dispatch policies
+// so the experiments can compare them:
+//
+//   - DispatchRaw: the call-back runs directly on the interrupt
+//     context. Fastest, but the handler must never block.
+//   - DispatchProto: the call-back runs as a proto-thread, promoted to
+//     a real thread only if it blocks (the paper's design).
+//   - DispatchEager: a full pop-up thread is created for every event
+//     (the baseline the proto-thread optimization beats).
+package event
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"paramecium/internal/hw"
+	"paramecium/internal/mmu"
+	"paramecium/internal/threads"
+)
+
+// Dispatch selects how a registered call-back is executed.
+type Dispatch int
+
+// Dispatch policies.
+const (
+	DispatchRaw Dispatch = iota
+	DispatchProto
+	DispatchEager
+)
+
+func (d Dispatch) String() string {
+	switch d {
+	case DispatchRaw:
+		return "raw"
+	case DispatchProto:
+		return "proto"
+	case DispatchEager:
+		return "eager"
+	}
+	return fmt.Sprintf("dispatch(%d)", int(d))
+}
+
+// Handler is an event call-back. For thread dispatches t is the
+// (proto-)thread the handler runs on; for DispatchRaw t is nil and the
+// handler must not block.
+type Handler func(frame *hw.TrapFrame, t *threads.Thread)
+
+// ErrBound is returned when registering over an existing binding.
+var ErrBound = errors.New("event: event already bound")
+
+// ErrNotBound is returned when unregistering a free event.
+var ErrNotBound = errors.New("event: event not bound")
+
+// binding is one registered call-back.
+type binding struct {
+	ctx      mmu.ContextID
+	dispatch Dispatch
+	handler  Handler
+	name     string
+
+	mu        sync.Mutex
+	delivered uint64
+	promoted  uint64
+	inline    uint64 // proto-threads that completed without promotion
+}
+
+// Stats is a snapshot of a binding's delivery counters.
+type Stats struct {
+	Name      string
+	Dispatch  Dispatch
+	Delivered uint64
+	Promoted  uint64
+	Inline    uint64
+}
+
+// Service is the processor event management service.
+type Service struct {
+	machine *hw.Machine
+	sched   *threads.Scheduler
+
+	mu    sync.Mutex
+	irqs  map[hw.IRQLine]*binding
+	traps map[hw.TrapVector]*binding
+}
+
+// New builds the service over a machine and a thread scheduler.
+func New(machine *hw.Machine, sched *threads.Scheduler) *Service {
+	return &Service{
+		machine: machine,
+		sched:   sched,
+		irqs:    make(map[hw.IRQLine]*binding),
+		traps:   make(map[hw.TrapVector]*binding),
+	}
+}
+
+// RegisterIRQ binds an interrupt line to a call-back running in ctx
+// under the given dispatch policy.
+func (s *Service) RegisterIRQ(line hw.IRQLine, name string, ctx mmu.ContextID, d Dispatch, h Handler) error {
+	if h == nil {
+		return errors.New("event: nil handler")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.irqs[line]; dup {
+		return fmt.Errorf("%w: irq %d", ErrBound, line)
+	}
+	b := &binding{ctx: ctx, dispatch: d, handler: h, name: name}
+	if _, err := s.machine.SetIRQHandler(line, func(f *hw.TrapFrame) bool {
+		s.deliver(b, f)
+		return true
+	}); err != nil {
+		return err
+	}
+	s.irqs[line] = b
+	return nil
+}
+
+// UnregisterIRQ removes an interrupt binding.
+func (s *Service) UnregisterIRQ(line hw.IRQLine) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.irqs[line]; !ok {
+		return fmt.Errorf("%w: irq %d", ErrNotBound, line)
+	}
+	if _, err := s.machine.SetIRQHandler(line, nil); err != nil {
+		return err
+	}
+	delete(s.irqs, line)
+	return nil
+}
+
+// RegisterTrap binds a trap vector. Trap handlers use DispatchRaw
+// semantics (the faulting context is suspended until the handler
+// returns); the handler's bool result — fault resolved or not — is
+// what the raw machine handler returns, so the signature differs.
+func (s *Service) RegisterTrap(vector hw.TrapVector, name string, ctx mmu.ContextID, h func(*hw.TrapFrame) bool) error {
+	if h == nil {
+		return errors.New("event: nil handler")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.traps[vector]; dup {
+		return fmt.Errorf("%w: trap %v", ErrBound, vector)
+	}
+	b := &binding{ctx: ctx, dispatch: DispatchRaw, name: name}
+	s.machine.SetTrapHandler(vector, func(f *hw.TrapFrame) bool {
+		b.mu.Lock()
+		b.delivered++
+		b.mu.Unlock()
+		restore := s.enterContext(b.ctx)
+		defer restore()
+		return h(f)
+	})
+	s.traps[vector] = b
+	return nil
+}
+
+// UnregisterTrap removes a trap binding.
+func (s *Service) UnregisterTrap(vector hw.TrapVector) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.traps[vector]; !ok {
+		return fmt.Errorf("%w: trap %v", ErrNotBound, vector)
+	}
+	s.machine.SetTrapHandler(vector, nil)
+	delete(s.traps, vector)
+	return nil
+}
+
+// deliver runs one interrupt call-back under its dispatch policy.
+func (s *Service) deliver(b *binding, f *hw.TrapFrame) {
+	b.mu.Lock()
+	b.delivered++
+	b.mu.Unlock()
+
+	switch b.dispatch {
+	case DispatchRaw:
+		restore := s.enterContext(b.ctx)
+		b.handler(f, nil)
+		restore()
+	case DispatchProto:
+		restore := s.enterContext(b.ctx)
+		_, inline := s.sched.PopUpProto(b.name, func(t *threads.Thread) {
+			b.handler(f, t)
+		})
+		restore()
+		b.mu.Lock()
+		if inline {
+			b.inline++
+		} else {
+			b.promoted++
+		}
+		b.mu.Unlock()
+	case DispatchEager:
+		// The thread will run under the scheduler later; the handler
+		// itself is responsible for switching context if it touches
+		// domain memory (the scheduler runs threads in kernel context).
+		s.sched.PopUpEager(b.name, func(t *threads.Thread) {
+			restore := s.enterContext(b.ctx)
+			b.handler(f, t)
+			restore()
+		})
+	}
+}
+
+// enterContext switches the MMU to the call-back's context if needed
+// and returns a function restoring the previous context. Delivering an
+// event into another protection domain costs two context switches —
+// exactly the cost a user-level handler pays over a kernel-resident
+// one.
+func (s *Service) enterContext(ctx mmu.ContextID) func() {
+	cur := s.machine.MMU.Current()
+	if ctx == cur {
+		return func() {}
+	}
+	// Switch errors mean the context died; the event is delivered in
+	// the current context rather than dropped.
+	if err := s.machine.MMU.Switch(ctx); err != nil {
+		return func() {}
+	}
+	return func() { _ = s.machine.MMU.Switch(cur) }
+}
+
+// IRQStats reports the counters of an interrupt binding.
+func (s *Service) IRQStats(line hw.IRQLine) (Stats, bool) {
+	s.mu.Lock()
+	b, ok := s.irqs[line]
+	s.mu.Unlock()
+	if !ok {
+		return Stats{}, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Stats{
+		Name:      b.name,
+		Dispatch:  b.dispatch,
+		Delivered: b.delivered,
+		Promoted:  b.promoted,
+		Inline:    b.inline,
+	}, true
+}
+
+// TrapStats reports the counters of a trap binding.
+func (s *Service) TrapStats(vector hw.TrapVector) (Stats, bool) {
+	s.mu.Lock()
+	b, ok := s.traps[vector]
+	s.mu.Unlock()
+	if !ok {
+		return Stats{}, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Stats{Name: b.name, Dispatch: b.dispatch, Delivered: b.delivered}, true
+}
+
+// Scheduler returns the thread scheduler events are pumped into.
+func (s *Service) Scheduler() *threads.Scheduler { return s.sched }

@@ -1,0 +1,364 @@
+// Package hw simulates the machine Paramecium runs on: a single CPU
+// with trap and interrupt vectors, an MMU (package mmu), physical
+// memory, I/O spaces and a small set of devices.
+//
+// The machine is deliberately not an instruction-set simulator.
+// Components execute as Go code (or as PVM bytecode, package sandbox),
+// but every access to *simulated memory* goes through Load/Store and
+// therefore through the MMU, and every privileged transition (trap,
+// interrupt, context switch) is charged on the shared cycle meter. This
+// is exactly the level of detail the paper's arguments live at: counts
+// of protection-boundary crossings, faults and run-time checks.
+package hw
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"paramecium/internal/clock"
+	"paramecium/internal/mmu"
+)
+
+// TrapVector identifies a synchronous processor event (trap).
+type TrapVector int
+
+// The trap vectors the nucleus knows about. User-defined vectors start
+// at TrapUserBase.
+const (
+	TrapPageFault TrapVector = iota
+	TrapSyscall
+	TrapDivZero
+	TrapIllegal
+	TrapBreakpoint
+	TrapUserBase TrapVector = 32
+)
+
+func (v TrapVector) String() string {
+	switch v {
+	case TrapPageFault:
+		return "page-fault"
+	case TrapSyscall:
+		return "syscall"
+	case TrapDivZero:
+		return "div-zero"
+	case TrapIllegal:
+		return "illegal"
+	case TrapBreakpoint:
+		return "breakpoint"
+	}
+	return fmt.Sprintf("trap(%d)", int(v))
+}
+
+// IRQLine identifies an interrupt source.
+type IRQLine int
+
+// NumIRQLines is the number of interrupt lines on the simulated machine.
+const NumIRQLines = 16
+
+// TrapFrame carries the state delivered with a trap or interrupt.
+type TrapFrame struct {
+	Vector TrapVector
+	IRQ    IRQLine
+	Ctx    mmu.ContextID
+	Addr   mmu.VAddr // faulting address, if any
+	Access mmu.Access
+	Fault  *mmu.Fault // populated for page-fault traps
+	Arg    uint64     // syscall number or device-specific argument
+}
+
+// TrapHandler handles a trap or interrupt. The handler for a page fault
+// returns true if the fault was resolved and the access should be
+// retried.
+type TrapHandler func(*TrapFrame) bool
+
+// ErrNoHandler is returned when an event fires with no registered
+// handler. On real hardware this would be a fatal watchdog reset.
+var ErrNoHandler = errors.New("hw: no handler for event")
+
+// ErrBadIRQ is returned for out-of-range interrupt lines.
+var ErrBadIRQ = errors.New("hw: bad IRQ line")
+
+// Machine is the simulated computer.
+type Machine struct {
+	Meter *clock.Meter
+	MMU   *mmu.MMU
+	Phys  *mmu.PhysMem
+
+	mu         sync.Mutex
+	trapTable  map[TrapVector]TrapHandler
+	irqTable   [NumIRQLines]TrapHandler
+	irqMasked  [NumIRQLines]bool
+	irqPending [NumIRQLines]int
+	devices    []Device
+	iospaces   map[string]*IORegion
+
+	// stats
+	trapsDelivered uint64
+	irqsDelivered  uint64
+	irqsDropped    uint64
+}
+
+// Config controls machine construction.
+type Config struct {
+	PhysFrames int        // number of physical frames (0 => 4096)
+	MMU        mmu.Config // MMU configuration
+	Costs      *clock.CostModel
+}
+
+// New builds a machine.
+func New(cfg Config) *Machine {
+	frames := cfg.PhysFrames
+	if frames <= 0 {
+		frames = 4096
+	}
+	costs := clock.DefaultCosts()
+	if cfg.Costs != nil {
+		costs = *cfg.Costs
+	}
+	meter := clock.NewMeter(costs)
+	return &Machine{
+		Meter:     meter,
+		MMU:       mmu.New(meter, cfg.MMU),
+		Phys:      mmu.NewPhysMem(frames),
+		trapTable: make(map[TrapVector]TrapHandler),
+		iospaces:  make(map[string]*IORegion),
+	}
+}
+
+// SetTrapHandler installs the handler for a trap vector, returning the
+// previous handler (nil if none). Passing a nil handler uninstalls.
+func (m *Machine) SetTrapHandler(v TrapVector, h TrapHandler) TrapHandler {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prev := m.trapTable[v]
+	if h == nil {
+		delete(m.trapTable, v)
+	} else {
+		m.trapTable[v] = h
+	}
+	return prev
+}
+
+// SetIRQHandler installs the handler for an interrupt line.
+func (m *Machine) SetIRQHandler(line IRQLine, h TrapHandler) (TrapHandler, error) {
+	if line < 0 || line >= NumIRQLines {
+		return nil, fmt.Errorf("%w: %d", ErrBadIRQ, line)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prev := m.irqTable[line]
+	m.irqTable[line] = h
+	return prev, nil
+}
+
+// MaskIRQ disables delivery on a line; raised interrupts are counted as
+// pending and delivered when the line is unmasked.
+func (m *Machine) MaskIRQ(line IRQLine) error {
+	if line < 0 || line >= NumIRQLines {
+		return fmt.Errorf("%w: %d", ErrBadIRQ, line)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.irqMasked[line] = true
+	return nil
+}
+
+// UnmaskIRQ re-enables a line and delivers any pending interrupts.
+func (m *Machine) UnmaskIRQ(line IRQLine) error {
+	if line < 0 || line >= NumIRQLines {
+		return fmt.Errorf("%w: %d", ErrBadIRQ, line)
+	}
+	m.mu.Lock()
+	pending := m.irqPending[line]
+	m.irqPending[line] = 0
+	m.irqMasked[line] = false
+	m.mu.Unlock()
+	for i := 0; i < pending; i++ {
+		if err := m.RaiseIRQ(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RaiseTrap delivers a synchronous trap, charging trap entry and exit.
+// It returns the handler's verdict (meaningful for page faults) or
+// ErrNoHandler.
+func (m *Machine) RaiseTrap(frame *TrapFrame) (bool, error) {
+	m.mu.Lock()
+	h := m.trapTable[frame.Vector]
+	m.trapsDelivered++
+	m.mu.Unlock()
+	m.Meter.Charge(clock.OpTrapEnter)
+	defer m.Meter.Charge(clock.OpTrapExit)
+	if h == nil {
+		return false, fmt.Errorf("%w: trap %v", ErrNoHandler, frame.Vector)
+	}
+	return h(frame), nil
+}
+
+// RaiseIRQ delivers an asynchronous interrupt on the given line. Masked
+// lines accumulate pending counts; unhandled lines drop the interrupt
+// and count it.
+func (m *Machine) RaiseIRQ(line IRQLine) error {
+	if line < 0 || line >= NumIRQLines {
+		return fmt.Errorf("%w: %d", ErrBadIRQ, line)
+	}
+	m.mu.Lock()
+	if m.irqMasked[line] {
+		m.irqPending[line]++
+		m.mu.Unlock()
+		return nil
+	}
+	h := m.irqTable[line]
+	if h == nil {
+		m.irqsDropped++
+		m.mu.Unlock()
+		return fmt.Errorf("%w: irq %d", ErrNoHandler, line)
+	}
+	m.irqsDelivered++
+	m.mu.Unlock()
+	m.Meter.Charge(clock.OpInterrupt)
+	frame := &TrapFrame{Vector: -1, IRQ: line, Ctx: m.MMU.Current()}
+	h(frame)
+	return nil
+}
+
+// Stats reports delivery counters.
+func (m *Machine) Stats() (traps, irqs, dropped uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.trapsDelivered, m.irqsDelivered, m.irqsDropped
+}
+
+// Load reads len(buf) bytes of simulated memory at va in context ctx.
+// Page faults are delivered as traps; if the page-fault handler reports
+// the fault resolved, the access is retried (once per page).
+func (m *Machine) Load(ctx mmu.ContextID, va mmu.VAddr, buf []byte) error {
+	return m.access(ctx, va, buf, mmu.AccessRead)
+}
+
+// Store writes buf to simulated memory at va in context ctx.
+func (m *Machine) Store(ctx mmu.ContextID, va mmu.VAddr, buf []byte) error {
+	return m.access(ctx, va, buf, mmu.AccessWrite)
+}
+
+// Touch performs a zero-length access of the given kind at va: it runs
+// the full translation (and fault) machinery without moving data. Proxy
+// invocation uses Touch with AccessExec on interface slots.
+func (m *Machine) Touch(ctx mmu.ContextID, va mmu.VAddr, access mmu.Access) error {
+	_, err := m.translateWithFaults(ctx, va, access)
+	return err
+}
+
+func (m *Machine) access(ctx mmu.ContextID, va mmu.VAddr, buf []byte, kind mmu.Access) error {
+	for len(buf) > 0 {
+		pa, err := m.translateWithFaults(ctx, va, kind)
+		if err != nil {
+			return err
+		}
+		n := mmu.PageSize - int(va.Offset())
+		if n > len(buf) {
+			n = len(buf)
+		}
+		if kind == mmu.AccessWrite {
+			err = m.Phys.Write(pa, buf[:n])
+		} else {
+			err = m.Phys.Read(pa, buf[:n])
+		}
+		if err != nil {
+			return err
+		}
+		m.Meter.ChargeN(clock.OpCopyWord, uint64((n+7)/8))
+		buf = buf[n:]
+		va += mmu.VAddr(n)
+	}
+	return nil
+}
+
+// translateWithFaults translates va, delivering a page-fault trap on
+// failure and retrying once if the handler reports the fault resolved.
+func (m *Machine) translateWithFaults(ctx mmu.ContextID, va mmu.VAddr, kind mmu.Access) (mmu.PAddr, error) {
+	for attempt := 0; ; attempt++ {
+		pa, err := m.MMU.Translate(ctx, va, kind)
+		if err == nil {
+			return pa, nil
+		}
+		var f *mmu.Fault
+		if !errors.As(err, &f) {
+			return 0, err
+		}
+		if attempt > 0 {
+			// The handler claimed resolution but the fault persists:
+			// report it rather than spinning.
+			return 0, fmt.Errorf("hw: fault persists after handler: %w", f)
+		}
+		m.Meter.Charge(clock.OpPageFault)
+		resolved, herr := m.RaiseTrap(&TrapFrame{
+			Vector: TrapPageFault,
+			Ctx:    ctx,
+			Addr:   va,
+			Access: kind,
+			Fault:  f,
+		})
+		if herr != nil {
+			return 0, fmt.Errorf("hw: unhandled page fault: %w", f)
+		}
+		if !resolved {
+			return 0, f
+		}
+	}
+}
+
+// Syscall raises the syscall trap with the given argument, modelling a
+// user-to-kernel protected entry. It returns the handler's verdict.
+func (m *Machine) Syscall(ctx mmu.ContextID, arg uint64) (bool, error) {
+	return m.RaiseTrap(&TrapFrame{Vector: TrapSyscall, Ctx: ctx, Arg: arg})
+}
+
+// AttachDevice registers a device and its I/O region, and wires the
+// device to the machine for interrupt raising.
+func (m *Machine) AttachDevice(d Device) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	region := d.IORegion()
+	if region != nil {
+		if _, dup := m.iospaces[region.Name]; dup {
+			return fmt.Errorf("hw: duplicate I/O region %q", region.Name)
+		}
+		m.iospaces[region.Name] = region
+	}
+	m.devices = append(m.devices, d)
+	d.attach(m)
+	return nil
+}
+
+// Device returns an attached device by name, or nil.
+func (m *Machine) Device(name string) Device {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, d := range m.devices {
+		if d.Name() == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// Devices returns the attached devices in attach order.
+func (m *Machine) Devices() []Device {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Device, len(m.devices))
+	copy(out, m.devices)
+	return out
+}
+
+// IORegionByName returns a registered I/O region.
+func (m *Machine) IORegionByName(name string) (*IORegion, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.iospaces[name]
+	return r, ok
+}

@@ -1,0 +1,207 @@
+package hw
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// NIC register word offsets. Drivers drive the device exclusively
+// through these registers plus the shared slot buffers, mirroring a
+// memory-mapped Ethernet controller with on-device packet memory.
+const (
+	NICRegRxPending = iota // r: frames waiting
+	NICRegRxSlot           // r: slot index of the head frame
+	NICRegRxLen            // r: length of the head frame
+	NICRegRxPop            // w: retire the head frame
+	NICRegTxSlot           // w: slot to transmit from
+	NICRegTxLen            // w: length to transmit
+	NICRegTxGo             // w: start transmission
+	NICRegRxDropped        // r: frames dropped because the ring was full
+	NICRegTxCount          // r: frames transmitted
+	nicRegCount
+)
+
+// NICSlots is the number of packet slots in device memory.
+const NICSlots = 32
+
+// NICSlotSize is the capacity of one packet slot in bytes.
+const NICSlotSize = 2048
+
+// ErrFrameTooBig is returned when a frame exceeds NICSlotSize.
+var ErrFrameTooBig = errors.New("hw: frame exceeds NIC slot size")
+
+// ErrRingFull is returned by Inject when the receive ring is full.
+var ErrRingFull = errors.New("hw: NIC receive ring full")
+
+// NIC is a simulated network interface with on-device packet memory,
+// a receive ring and a transmit path. Frames enter via Inject (the
+// "wire") and leave via the transmit sink.
+type NIC struct {
+	baseDevice
+	name string
+	irq  IRQLine
+
+	mu        sync.Mutex
+	slots     [NICSlots][]byte // on-device packet memory
+	rxQueue   []int            // slot indices with received frames
+	rxLens    map[int]int
+	freeSlots []int
+	txSink    func(frame []byte)
+	rxDropped uint64
+	txCount   uint64
+	region    *IORegion
+
+	// txSlot/txLen latch the pending transmit descriptor.
+	txSlot, txLen uint64
+}
+
+// NewNIC builds a NIC raising interrupts on the given line.
+func NewNIC(name string, irq IRQLine) *NIC {
+	n := &NIC{
+		name:   name,
+		irq:    irq,
+		rxLens: make(map[int]int),
+	}
+	for i := 0; i < NICSlots; i++ {
+		n.slots[i] = make([]byte, NICSlotSize)
+		n.freeSlots = append(n.freeSlots, i)
+	}
+	n.region = NewIORegion(name+"-regs", nicRegCount, n.readReg, n.writeReg)
+	return n
+}
+
+// Name implements Device.
+func (n *NIC) Name() string { return n.name }
+
+// IRQ implements Device.
+func (n *NIC) IRQ() IRQLine { return n.irq }
+
+// IORegion implements Device.
+func (n *NIC) IORegion() *IORegion { return n.region }
+
+// SetTxSink installs the function that receives transmitted frames
+// (the "wire" on the send side).
+func (n *NIC) SetTxSink(sink func(frame []byte)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.txSink = sink
+}
+
+// SlotData exposes the payload memory of one slot. This models the
+// shared on-device buffer that the paper's I/O space service lets
+// multiple contexts map.
+func (n *NIC) SlotData(slot int) ([]byte, error) {
+	if slot < 0 || slot >= NICSlots {
+		return nil, fmt.Errorf("hw: NIC slot %d out of range", slot)
+	}
+	return n.slots[slot], nil
+}
+
+// Inject delivers a frame from the wire into the receive ring and
+// raises the device interrupt. It fails with ErrRingFull when no slot
+// is free (the frame is counted as dropped).
+func (n *NIC) Inject(frame []byte) error {
+	if len(frame) > NICSlotSize {
+		return ErrFrameTooBig
+	}
+	n.mu.Lock()
+	if len(n.freeSlots) == 0 {
+		n.rxDropped++
+		n.mu.Unlock()
+		return ErrRingFull
+	}
+	slot := n.freeSlots[0]
+	n.freeSlots = n.freeSlots[1:]
+	copy(n.slots[slot], frame)
+	n.rxLens[slot] = len(frame)
+	n.rxQueue = append(n.rxQueue, slot)
+	n.mu.Unlock()
+	n.raise(n.irq)
+	return nil
+}
+
+// Pending reports the number of frames waiting in the receive ring.
+func (n *NIC) Pending() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.rxQueue)
+}
+
+// Dropped reports frames dropped due to ring overflow.
+func (n *NIC) Dropped() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rxDropped
+}
+
+// Transmitted reports the number of frames sent.
+func (n *NIC) Transmitted() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.txCount
+}
+
+func (n *NIC) readReg(reg int) (uint64, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch reg {
+	case NICRegRxPending:
+		return uint64(len(n.rxQueue)), nil
+	case NICRegRxSlot:
+		if len(n.rxQueue) == 0 {
+			return ^uint64(0), nil
+		}
+		return uint64(n.rxQueue[0]), nil
+	case NICRegRxLen:
+		if len(n.rxQueue) == 0 {
+			return 0, nil
+		}
+		return uint64(n.rxLens[n.rxQueue[0]]), nil
+	case NICRegRxDropped:
+		return n.rxDropped, nil
+	case NICRegTxCount:
+		return n.txCount, nil
+	}
+	return 0, nil
+}
+
+func (n *NIC) writeReg(reg int, val uint64) error {
+	n.mu.Lock()
+	switch reg {
+	case NICRegRxPop:
+		if len(n.rxQueue) > 0 {
+			slot := n.rxQueue[0]
+			n.rxQueue = n.rxQueue[1:]
+			delete(n.rxLens, slot)
+			n.freeSlots = append(n.freeSlots, slot)
+		}
+		n.mu.Unlock()
+		return nil
+	case NICRegTxSlot:
+		n.txSlot = val
+		n.mu.Unlock()
+		return nil
+	case NICRegTxLen:
+		n.txLen = val
+		n.mu.Unlock()
+		return nil
+	case NICRegTxGo:
+		slot, length := int(n.txSlot), int(n.txLen)
+		if slot < 0 || slot >= NICSlots || length < 0 || length > NICSlotSize {
+			n.mu.Unlock()
+			return fmt.Errorf("hw: bad transmit descriptor slot=%d len=%d", slot, length)
+		}
+		frame := make([]byte, length)
+		copy(frame, n.slots[slot][:length])
+		sink := n.txSink
+		n.txCount++
+		n.mu.Unlock()
+		if sink != nil {
+			sink(frame)
+		}
+		return nil
+	}
+	n.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,112 @@
+package hw
+
+import (
+	"sync"
+
+	"paramecium/internal/clock"
+)
+
+// Timer register word offsets.
+const (
+	TimerRegInterval = iota // rw: cycles between expirations (0 = off)
+	TimerRegFires           // r: total expirations delivered
+	timerRegCount
+)
+
+// Timer is a programmable interval timer driven by the virtual clock.
+// Because virtual time only advances when work is charged, the harness
+// (or the scheduler) calls Poll to let due expirations fire; this keeps
+// the simulation single-threaded and deterministic.
+type Timer struct {
+	baseDevice
+	name string
+	irq  IRQLine
+	clk  *clock.Clock
+	reg  *IORegion
+
+	mu       sync.Mutex
+	interval uint64
+	deadline uint64
+	fires    uint64
+}
+
+// NewTimer builds a timer reading time from clk.
+func NewTimer(name string, irq IRQLine, clk *clock.Clock) *Timer {
+	t := &Timer{name: name, irq: irq, clk: clk}
+	t.reg = NewIORegion(name+"-regs", timerRegCount, t.readReg, t.writeReg)
+	return t
+}
+
+// Name implements Device.
+func (t *Timer) Name() string { return t.name }
+
+// IRQ implements Device.
+func (t *Timer) IRQ() IRQLine { return t.irq }
+
+// IORegion implements Device.
+func (t *Timer) IORegion() *IORegion { return t.reg }
+
+// Program arms the timer to fire every interval cycles (0 disarms).
+func (t *Timer) Program(interval uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.interval = interval
+	if interval == 0 {
+		t.deadline = 0
+		return
+	}
+	t.deadline = t.clk.Now() + interval
+}
+
+// Poll fires the interrupt for every deadline that has passed, and
+// returns the number of expirations delivered. The clock is read once
+// on entry: cycles charged by the interrupt handlers themselves do not
+// generate further expirations within the same poll (otherwise a
+// handler costing more than the interval would re-arm the timer
+// forever).
+func (t *Timer) Poll() int {
+	t.mu.Lock()
+	if t.interval == 0 {
+		t.mu.Unlock()
+		return 0
+	}
+	now := t.clk.Now()
+	fired := 0
+	for t.deadline <= now {
+		t.deadline += t.interval
+		t.fires++
+		fired++
+	}
+	t.mu.Unlock()
+	for i := 0; i < fired; i++ {
+		t.raise(t.irq)
+	}
+	return fired
+}
+
+// Fires reports the number of expirations delivered so far.
+func (t *Timer) Fires() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.fires
+}
+
+func (t *Timer) readReg(reg int) (uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch reg {
+	case TimerRegInterval:
+		return t.interval, nil
+	case TimerRegFires:
+		return t.fires, nil
+	}
+	return 0, nil
+}
+
+func (t *Timer) writeReg(reg int, val uint64) error {
+	switch reg {
+	case TimerRegInterval:
+		t.Program(val)
+	}
+	return nil
+}

@@ -1,0 +1,410 @@
+// Package mmu simulates a SPARC-flavoured memory management unit: MMU
+// contexts with per-context page tables, an ASID-tagged TLB, page
+// protections and fault reporting.
+//
+// The MMU is the protection substrate for the whole reproduction. The
+// Paramecium nucleus implements cross-domain calls, fault call-backs and
+// page sharing on top of the primitives here, exactly as the paper's
+// memory-management service does on real hardware.
+package mmu
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"paramecium/internal/clock"
+)
+
+// PageSize is the size of a virtual and physical page in bytes.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// VAddr is a virtual address within some MMU context.
+type VAddr uint64
+
+// PAddr is a physical address.
+type PAddr uint64
+
+// VPN returns the virtual page number of the address.
+func (a VAddr) VPN() uint64 { return uint64(a) >> PageShift }
+
+// Offset returns the within-page offset of the address.
+func (a VAddr) Offset() uint64 { return uint64(a) & (PageSize - 1) }
+
+// PageBase returns the address of the start of the page containing a.
+func (a VAddr) PageBase() VAddr { return a &^ (PageSize - 1) }
+
+// Frame returns the physical frame number of the address.
+func (p PAddr) Frame() uint64 { return uint64(p) >> PageShift }
+
+// Perm is a page protection bit set.
+type Perm uint8
+
+// Protection bits.
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermExec
+)
+
+// Has reports whether every bit in want is present.
+func (p Perm) Has(want Perm) bool { return p&want == want }
+
+// String renders the permission in "rwx" form.
+func (p Perm) String() string {
+	b := []byte("---")
+	if p.Has(PermRead) {
+		b[0] = 'r'
+	}
+	if p.Has(PermWrite) {
+		b[1] = 'w'
+	}
+	if p.Has(PermExec) {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// Access is the kind of memory access being attempted.
+type Access uint8
+
+// Access kinds.
+const (
+	AccessRead Access = iota
+	AccessWrite
+	AccessExec
+)
+
+func (a Access) String() string {
+	switch a {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessExec:
+		return "exec"
+	}
+	return fmt.Sprintf("access(%d)", uint8(a))
+}
+
+// perm returns the permission bit an access requires.
+func (a Access) perm() Perm {
+	switch a {
+	case AccessWrite:
+		return PermWrite
+	case AccessExec:
+		return PermExec
+	default:
+		return PermRead
+	}
+}
+
+// FaultKind classifies a translation fault.
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	FaultNone       FaultKind = iota
+	FaultNoMapping            // no PTE for the page
+	FaultProtection           // PTE present but access not permitted
+	FaultBadContext           // context does not exist
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultNoMapping:
+		return "no-mapping"
+	case FaultProtection:
+		return "protection"
+	case FaultBadContext:
+		return "bad-context"
+	}
+	return fmt.Sprintf("fault(%d)", uint8(k))
+}
+
+// Fault describes a failed translation. It implements error so the MMU
+// can return it directly from Translate.
+type Fault struct {
+	Kind    FaultKind
+	Ctx     ContextID
+	Addr    VAddr
+	Access  Access
+	Present Perm // permissions of the PTE, if one was present
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("mmu: %s fault in context %d at %#x (%s access, page perms %s)",
+		f.Kind, f.Ctx, uint64(f.Addr), f.Access, f.Present)
+}
+
+// ContextID names an MMU context (an address space). Context 0 is the
+// kernel context by convention.
+type ContextID uint32
+
+// KernelContext is the MMU context the nucleus itself runs in.
+const KernelContext ContextID = 0
+
+// PTE is a page table entry.
+type PTE struct {
+	Frame uint64
+	Perm  Perm
+	Valid bool
+	// Tag carries arbitrary owner data (the mem service stores the
+	// page's allocation record here). The MMU itself ignores it.
+	Tag any
+}
+
+// pageTable is a per-context sparse page table.
+type pageTable struct {
+	entries map[uint64]PTE // keyed by VPN
+}
+
+func newPageTable() *pageTable {
+	return &pageTable{entries: make(map[uint64]PTE)}
+}
+
+// ErrNoContext is returned when an operation names an unknown context.
+var ErrNoContext = errors.New("mmu: no such context")
+
+// ErrExists is returned when creating a context that already exists.
+var ErrExists = errors.New("mmu: context already exists")
+
+// MMU is the memory management unit. All methods are safe for
+// concurrent use.
+type MMU struct {
+	meter *clock.Meter
+
+	mu       sync.Mutex
+	contexts map[ContextID]*pageTable
+	nextCtx  ContextID
+	current  ContextID
+	tlb      *tlb
+	// FlushOnSwitch selects the non-ASID behaviour in which every
+	// context switch flushes the whole TLB (ablation F5).
+	flushOnSwitch bool
+}
+
+// Config controls MMU construction.
+type Config struct {
+	TLBSize       int  // entries; 0 means DefaultTLBSize
+	FlushOnSwitch bool // flush TLB on every context switch
+}
+
+// DefaultTLBSize is the TLB capacity used when Config.TLBSize is zero.
+const DefaultTLBSize = 64
+
+// New builds an MMU charging against meter. The kernel context (0) is
+// created automatically.
+func New(meter *clock.Meter, cfg Config) *MMU {
+	size := cfg.TLBSize
+	if size <= 0 {
+		size = DefaultTLBSize
+	}
+	m := &MMU{
+		meter:         meter,
+		contexts:      make(map[ContextID]*pageTable),
+		nextCtx:       1,
+		tlb:           newTLB(size),
+		flushOnSwitch: cfg.FlushOnSwitch,
+	}
+	m.contexts[KernelContext] = newPageTable()
+	return m
+}
+
+// NewContext allocates a fresh MMU context and returns its ID.
+func (m *MMU) NewContext() ContextID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextCtx
+	m.nextCtx++
+	m.contexts[id] = newPageTable()
+	return id
+}
+
+// DestroyContext removes a context, invalidating all of its TLB entries.
+// Destroying the kernel context or the current context is an error.
+func (m *MMU) DestroyContext(id ContextID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id == KernelContext {
+		return errors.New("mmu: cannot destroy kernel context")
+	}
+	if id == m.current {
+		return errors.New("mmu: cannot destroy current context")
+	}
+	if _, ok := m.contexts[id]; !ok {
+		return ErrNoContext
+	}
+	delete(m.contexts, id)
+	m.tlb.invalidateContext(id)
+	return nil
+}
+
+// HasContext reports whether id names a live context.
+func (m *MMU) HasContext(id ContextID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.contexts[id]
+	return ok
+}
+
+// Current reports the active context.
+func (m *MMU) Current() ContextID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.current
+}
+
+// Switch makes id the active context, charging the context-switch cost.
+// Switching to the already-active context is free.
+func (m *MMU) Switch(id ContextID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.contexts[id]; !ok {
+		return ErrNoContext
+	}
+	if id == m.current {
+		return nil
+	}
+	m.current = id
+	m.meter.Charge(clock.OpCtxSwitch)
+	if m.flushOnSwitch {
+		m.tlb.flush()
+		m.meter.Charge(clock.OpTLBFlush)
+	}
+	return nil
+}
+
+// Map installs a translation for the page containing va in context id.
+func (m *MMU) Map(id ContextID, va VAddr, frame uint64, perm Perm) error {
+	return m.MapTagged(id, va, frame, perm, nil)
+}
+
+// MapTagged is Map with an owner tag stored in the PTE.
+func (m *MMU) MapTagged(id ContextID, va VAddr, frame uint64, perm Perm, tag any) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pt, ok := m.contexts[id]
+	if !ok {
+		return ErrNoContext
+	}
+	pt.entries[va.VPN()] = PTE{Frame: frame, Perm: perm, Valid: true, Tag: tag}
+	m.tlb.invalidate(id, va.VPN())
+	return nil
+}
+
+// Unmap removes the translation for the page containing va.
+func (m *MMU) Unmap(id ContextID, va VAddr) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pt, ok := m.contexts[id]
+	if !ok {
+		return ErrNoContext
+	}
+	delete(pt.entries, va.VPN())
+	m.tlb.invalidate(id, va.VPN())
+	return nil
+}
+
+// Protect changes the permissions of an existing mapping.
+func (m *MMU) Protect(id ContextID, va VAddr, perm Perm) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pt, ok := m.contexts[id]
+	if !ok {
+		return ErrNoContext
+	}
+	pte, ok := pt.entries[va.VPN()]
+	if !ok || !pte.Valid {
+		return &Fault{Kind: FaultNoMapping, Ctx: id, Addr: va}
+	}
+	pte.Perm = perm
+	pt.entries[va.VPN()] = pte
+	m.tlb.invalidate(id, va.VPN())
+	return nil
+}
+
+// Lookup returns the PTE for the page containing va without charging
+// any cycles (a debugger's view, not a hardware walk).
+func (m *MMU) Lookup(id ContextID, va VAddr) (PTE, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pt, ok := m.contexts[id]
+	if !ok {
+		return PTE{}, false
+	}
+	pte, ok := pt.entries[va.VPN()]
+	return pte, ok && pte.Valid
+}
+
+// Translate resolves va in context id for the given access kind,
+// charging TLB and page-table costs. On failure it returns a *Fault.
+func (m *MMU) Translate(id ContextID, va VAddr, access Access) (PAddr, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.translateLocked(id, va, access)
+}
+
+// TranslateCurrent resolves va in the active context.
+func (m *MMU) TranslateCurrent(va VAddr, access Access) (PAddr, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.translateLocked(m.current, va, access)
+}
+
+func (m *MMU) translateLocked(id ContextID, va VAddr, access Access) (PAddr, error) {
+	pt, ok := m.contexts[id]
+	if !ok {
+		return 0, &Fault{Kind: FaultBadContext, Ctx: id, Addr: va, Access: access}
+	}
+	vpn := va.VPN()
+	if e, hit := m.tlb.lookup(id, vpn); hit {
+		if !e.perm.Has(access.perm()) {
+			return 0, &Fault{Kind: FaultProtection, Ctx: id, Addr: va, Access: access, Present: e.perm}
+		}
+		return PAddr(e.frame<<PageShift | va.Offset()), nil
+	}
+	// TLB miss: hardware walk of the page table.
+	m.meter.Charge(clock.OpTLBMiss)
+	pte, ok := pt.entries[vpn]
+	if !ok || !pte.Valid {
+		return 0, &Fault{Kind: FaultNoMapping, Ctx: id, Addr: va, Access: access}
+	}
+	if !pte.Perm.Has(access.perm()) {
+		return 0, &Fault{Kind: FaultProtection, Ctx: id, Addr: va, Access: access, Present: pte.Perm}
+	}
+	m.tlb.insert(id, vpn, pte.Frame, pte.Perm)
+	return PAddr(pte.Frame<<PageShift | va.Offset()), nil
+}
+
+// FlushTLB empties the TLB, charging the flush cost.
+func (m *MMU) FlushTLB() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tlb.flush()
+	m.meter.Charge(clock.OpTLBFlush)
+}
+
+// TLBStats reports hits and misses since construction.
+func (m *MMU) TLBStats() (hits, misses uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tlb.hits, m.tlb.misses
+}
+
+// Mappings returns the number of valid mappings in a context.
+func (m *MMU) Mappings(id ContextID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pt, ok := m.contexts[id]
+	if !ok {
+		return 0
+	}
+	return len(pt.entries)
+}

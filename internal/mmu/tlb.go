@@ -1,0 +1,82 @@
+package mmu
+
+// tlb is a fully associative, ASID-tagged translation look-aside buffer
+// with FIFO replacement. FIFO (rather than LRU) keeps the replacement
+// behaviour trivially deterministic, which matters for reproducible
+// experiment output.
+type tlb struct {
+	size    int
+	entries map[tlbKey]*tlbEntry
+	fifo    []tlbKey // insertion order, oldest first
+	hits    uint64
+	misses  uint64
+}
+
+type tlbKey struct {
+	ctx ContextID
+	vpn uint64
+}
+
+type tlbEntry struct {
+	frame uint64
+	perm  Perm
+}
+
+func newTLB(size int) *tlb {
+	return &tlb{
+		size:    size,
+		entries: make(map[tlbKey]*tlbEntry, size),
+	}
+}
+
+func (t *tlb) lookup(ctx ContextID, vpn uint64) (*tlbEntry, bool) {
+	e, ok := t.entries[tlbKey{ctx, vpn}]
+	if ok {
+		t.hits++
+	} else {
+		t.misses++
+	}
+	return e, ok
+}
+
+func (t *tlb) insert(ctx ContextID, vpn, frame uint64, perm Perm) {
+	k := tlbKey{ctx, vpn}
+	if _, ok := t.entries[k]; ok {
+		t.entries[k] = &tlbEntry{frame: frame, perm: perm}
+		return
+	}
+	for len(t.entries) >= t.size {
+		t.evictOldest()
+	}
+	t.entries[k] = &tlbEntry{frame: frame, perm: perm}
+	t.fifo = append(t.fifo, k)
+}
+
+func (t *tlb) evictOldest() {
+	for len(t.fifo) > 0 {
+		k := t.fifo[0]
+		t.fifo = t.fifo[1:]
+		if _, ok := t.entries[k]; ok {
+			delete(t.entries, k)
+			return
+		}
+		// Stale FIFO slot (entry was invalidated); keep scanning.
+	}
+}
+
+func (t *tlb) invalidate(ctx ContextID, vpn uint64) {
+	delete(t.entries, tlbKey{ctx, vpn})
+}
+
+func (t *tlb) invalidateContext(ctx ContextID) {
+	for k := range t.entries {
+		if k.ctx == ctx {
+			delete(t.entries, k)
+		}
+	}
+}
+
+func (t *tlb) flush() {
+	clear(t.entries)
+	t.fifo = t.fifo[:0]
+}

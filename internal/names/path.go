@@ -1,0 +1,66 @@
+// Package names implements the Paramecium hierarchical name space for
+// object instances: registration, binding, interposition by handle
+// replacement, and per-object views with override sets.
+//
+// The name space is the reconfiguration mechanism of the whole system.
+// Binding is by instance name at run time (late binding); replacing the
+// handle under a name transparently interposes an agent on all future
+// binds; and a child object inherits its parent's view but can override
+// individual names, which is how a programmer controls exactly which
+// components an application imports.
+package names
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Errors returned by name-space operations.
+var (
+	ErrNotFound = errors.New("names: not found")
+	ErrExists   = errors.New("names: already registered")
+	ErrIsDir    = errors.New("names: path names a directory")
+	ErrNotDir   = errors.New("names: path component is not a directory")
+	ErrBadPath  = errors.New("names: bad path")
+)
+
+// Split normalizes a path and returns its components. Paths use '/' as
+// the separator; leading and trailing slashes and empty components are
+// ignored. The root is the empty component list.
+func Split(path string) ([]string, error) {
+	if strings.ContainsRune(path, 0) {
+		return nil, fmt.Errorf("%w: NUL in %q", ErrBadPath, path)
+	}
+	raw := strings.Split(path, "/")
+	out := make([]string, 0, len(raw))
+	for _, c := range raw {
+		switch c {
+		case "", ".":
+			continue
+		case "..":
+			return nil, fmt.Errorf("%w: %q contains '..'", ErrBadPath, path)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Clean returns the canonical form of a path ("/a/b").
+func Clean(path string) (string, error) {
+	parts, err := Split(path)
+	if err != nil {
+		return "", err
+	}
+	return "/" + strings.Join(parts, "/"), nil
+}
+
+// Join concatenates path components canonically.
+func Join(parts ...string) string {
+	joined := strings.Join(parts, "/")
+	c, err := Clean(joined)
+	if err != nil {
+		return "/" + joined
+	}
+	return c
+}

@@ -1,0 +1,251 @@
+package names
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"paramecium/internal/clock"
+	"paramecium/internal/obj"
+)
+
+// Space is the system-wide hierarchical name space of object
+// instances, managed by the directory service in the nucleus. Every
+// lookup charges one hop per path component, so experiments can
+// measure lookup cost versus depth (experiment F4).
+type Space struct {
+	meter *clock.Meter
+
+	mu   sync.RWMutex
+	root *dir
+}
+
+type dir struct {
+	children map[string]*entry
+}
+
+// entry is either a subdirectory or an object handle (never both).
+type entry struct {
+	dir  *dir
+	inst obj.Instance
+}
+
+func newDir() *dir { return &dir{children: make(map[string]*entry)} }
+
+// NewSpace builds an empty name space. meter may be nil.
+func NewSpace(meter *clock.Meter) *Space {
+	return &Space{meter: meter, root: newDir()}
+}
+
+func (s *Space) chargeHops(n int) {
+	if s.meter != nil && n > 0 {
+		s.meter.ChargeN(clock.OpNameLookupHop, uint64(n))
+	}
+}
+
+// Register binds an instance to path, creating intermediate
+// directories as needed. Registering over an existing name fails; use
+// Replace for interposition.
+func (s *Space) Register(path string, inst obj.Instance) error {
+	if inst == nil {
+		return fmt.Errorf("%w: nil instance for %q", ErrBadPath, path)
+	}
+	parts, err := Split(path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("%w: cannot register at root", ErrBadPath)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.root
+	for _, c := range parts[:len(parts)-1] {
+		e, ok := d.children[c]
+		if !ok {
+			e = &entry{dir: newDir()}
+			d.children[c] = e
+		}
+		if e.dir == nil {
+			return fmt.Errorf("%w: %q under %q", ErrNotDir, c, path)
+		}
+		d = e.dir
+	}
+	leaf := parts[len(parts)-1]
+	if _, dup := d.children[leaf]; dup {
+		return fmt.Errorf("%w: %q", ErrExists, path)
+	}
+	d.children[leaf] = &entry{inst: inst}
+	return nil
+}
+
+// Replace atomically swaps the instance registered at path for a new
+// one and returns the previous instance. This is the interposition
+// primitive: "build an interposing object … and replace the object
+// handle in the name space. All further lookups … will result in a
+// reference to the interposing agent."
+func (s *Space) Replace(path string, inst obj.Instance) (obj.Instance, error) {
+	if inst == nil {
+		return nil, fmt.Errorf("%w: nil instance for %q", ErrBadPath, path)
+	}
+	parts, err := Split(path)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, err := s.lookupLocked(parts)
+	if err != nil {
+		return nil, err
+	}
+	if e.inst == nil {
+		return nil, fmt.Errorf("%w: %q", ErrIsDir, path)
+	}
+	prev := e.inst
+	e.inst = inst
+	return prev, nil
+}
+
+// Unregister removes the instance at path. Directories are removed
+// only when empty.
+func (s *Space) Unregister(path string) error {
+	parts, err := Split(path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("%w: cannot unregister root", ErrBadPath)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.root
+	for _, c := range parts[:len(parts)-1] {
+		e, ok := d.children[c]
+		if !ok || e.dir == nil {
+			return fmt.Errorf("%w: %q", ErrNotFound, path)
+		}
+		d = e.dir
+	}
+	leaf := parts[len(parts)-1]
+	e, ok := d.children[leaf]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, path)
+	}
+	if e.dir != nil && len(e.dir.children) > 0 {
+		return fmt.Errorf("names: directory %q not empty", path)
+	}
+	delete(d.children, leaf)
+	return nil
+}
+
+// Bind resolves path to the registered instance, charging one hop per
+// component.
+func (s *Space) Bind(path string) (obj.Instance, error) {
+	parts, err := Split(path)
+	if err != nil {
+		return nil, err
+	}
+	s.chargeHops(len(parts))
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, err := s.lookupLocked(parts)
+	if err != nil {
+		return nil, err
+	}
+	if e.inst == nil {
+		return nil, fmt.Errorf("%w: %q", ErrIsDir, path)
+	}
+	return e.inst, nil
+}
+
+func (s *Space) lookupLocked(parts []string) (*entry, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("%w: root is a directory", ErrIsDir)
+	}
+	d := s.root
+	for i, c := range parts {
+		e, ok := d.children[c]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, "/"+joinParts(parts[:i+1]))
+		}
+		if i == len(parts)-1 {
+			return e, nil
+		}
+		if e.dir == nil {
+			return nil, fmt.Errorf("%w: %q", ErrNotDir, "/"+joinParts(parts[:i+1]))
+		}
+		d = e.dir
+	}
+	return nil, ErrNotFound // unreachable
+}
+
+func joinParts(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += "/"
+		}
+		out += p
+	}
+	return out
+}
+
+// List returns the sorted names under a directory path ("" or "/" for
+// the root). Names of subdirectories carry a trailing slash.
+func (s *Space) List(path string) ([]string, error) {
+	parts, err := Split(path)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d := s.root
+	for _, c := range parts {
+		e, ok := d.children[c]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, path)
+		}
+		if e.dir == nil {
+			return nil, fmt.Errorf("%w: %q", ErrNotDir, path)
+		}
+		d = e.dir
+	}
+	out := make([]string, 0, len(d.children))
+	for name, e := range d.children {
+		if e.dir != nil {
+			name += "/"
+		}
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Walk visits every registered instance in depth-first name order.
+func (s *Space) Walk(fn func(path string, inst obj.Instance) error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return walkDir(s.root, "", fn)
+}
+
+func walkDir(d *dir, prefix string, fn func(string, obj.Instance) error) error {
+	names := make([]string, 0, len(d.children))
+	for n := range d.children {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		e := d.children[n]
+		p := prefix + "/" + n
+		if e.dir != nil {
+			if err := walkDir(e.dir, p, fn); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := fn(p, e.inst); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package names
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"paramecium/internal/clock"
+	"paramecium/internal/obj"
+)
+
+// View is an object's window onto the name space. "The name space is
+// usually inherited from a parent, i.e., the object that created it.
+// Each object, however, can provide a set of overrides which allows it
+// to locally reconfigure its name space: that is, control the child
+// objects it will import."
+//
+// A View resolves a path by consulting, in order: its own override set
+// (instance overrides and aliases), then its parent view, and finally
+// the global Space at the root of the chain.
+type View struct {
+	space  *Space
+	parent *View
+	meter  *clock.Meter
+
+	mu        sync.RWMutex
+	overrides map[string]obj.Instance // canonical path -> instance
+	aliases   map[string]string       // canonical path -> canonical path
+}
+
+// RootView builds the top-level view over a space.
+func RootView(space *Space) *View {
+	return &View{space: space, meter: space.meter,
+		overrides: make(map[string]obj.Instance), aliases: make(map[string]string)}
+}
+
+// Child derives a view that inherits this one. The child starts with
+// no overrides of its own.
+func (v *View) Child() *View {
+	return &View{space: v.space, parent: v, meter: v.meter,
+		overrides: make(map[string]obj.Instance), aliases: make(map[string]string)}
+}
+
+// Override makes path resolve to inst in this view (and views derived
+// from it), without touching the global space or sibling views.
+func (v *View) Override(path string, inst obj.Instance) error {
+	if inst == nil {
+		return fmt.Errorf("%w: nil instance for %q", ErrBadPath, path)
+	}
+	c, err := Clean(path)
+	if err != nil {
+		return err
+	}
+	if c == "/" {
+		return fmt.Errorf("%w: cannot override root", ErrBadPath)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.overrides[c] = inst
+	return nil
+}
+
+// Alias redirects lookups of from to to (both resolved in this view's
+// parent chain). Aliases let a parent steer a child at a different
+// implementation that is already registered elsewhere, e.g.
+// "/services/net" -> "/services/net-debug".
+func (v *View) Alias(from, to string) error {
+	cf, err := Clean(from)
+	if err != nil {
+		return err
+	}
+	ct, err := Clean(to)
+	if err != nil {
+		return err
+	}
+	if cf == ct {
+		return fmt.Errorf("%w: alias %q to itself", ErrBadPath, cf)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.aliases[cf] = ct
+	return nil
+}
+
+// ClearOverride removes an override or alias for path in this view.
+func (v *View) ClearOverride(path string) error {
+	c, err := Clean(path)
+	if err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.overrides[c]; ok {
+		delete(v.overrides, c)
+		return nil
+	}
+	if _, ok := v.aliases[c]; ok {
+		delete(v.aliases, c)
+		return nil
+	}
+	return fmt.Errorf("%w: no override for %q", ErrNotFound, c)
+}
+
+// Overrides lists the paths overridden (directly or via alias) in this
+// view, sorted.
+func (v *View) Overrides() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]string, 0, len(v.overrides)+len(v.aliases))
+	for p := range v.overrides {
+		out = append(out, p)
+	}
+	for p := range v.aliases {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Bind resolves path through the override chain. Alias chains are
+// followed up to a fixed depth to keep cyclic configurations from
+// hanging the system.
+func (v *View) Bind(path string) (obj.Instance, error) {
+	c, err := Clean(path)
+	if err != nil {
+		return nil, err
+	}
+	const maxAliasDepth = 16
+	for hop := 0; hop < maxAliasDepth; hop++ {
+		inst, redirect, err := v.resolveOnce(c)
+		if err != nil {
+			return nil, err
+		}
+		if inst != nil {
+			return inst, nil
+		}
+		c = redirect
+	}
+	return nil, fmt.Errorf("%w: alias chain too deep at %q", ErrBadPath, path)
+}
+
+// resolveOnce walks the view chain for one canonical path. It returns
+// either the bound instance, or a redirect target to retry with.
+func (v *View) resolveOnce(c string) (obj.Instance, string, error) {
+	for w := v; w != nil; w = w.parent {
+		w.mu.RLock()
+		inst, okO := w.overrides[c]
+		target, okA := w.aliases[c]
+		w.mu.RUnlock()
+		if okO {
+			// Override hits cost one hop regardless of depth: the
+			// binding is immediate.
+			if v.meter != nil {
+				v.meter.Charge(clock.OpNameLookupHop)
+			}
+			return inst, "", nil
+		}
+		if okA {
+			if v.meter != nil {
+				v.meter.Charge(clock.OpNameLookupHop)
+			}
+			return nil, target, nil
+		}
+	}
+	inst, err := v.space.Bind(c)
+	if err != nil {
+		return nil, "", err
+	}
+	return inst, "", nil
+}
+
+// BindInterface is the common bind-then-get-interface sequence: it
+// resolves path and returns the named interface of the instance.
+func (v *View) BindInterface(path, ifaceName string) (obj.Invoker, error) {
+	inst, err := v.Bind(path)
+	if err != nil {
+		return nil, err
+	}
+	iv, ok := inst.Iface(ifaceName)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q on %q", obj.ErrNoInterface, ifaceName, path)
+	}
+	return iv, nil
+}
+
+// Space returns the global space underlying this view.
+func (v *View) Space() *Space { return v.space }

@@ -1,0 +1,106 @@
+package netstack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"paramecium/internal/clock"
+	"paramecium/internal/sandbox"
+)
+
+// TestParsersTotalOnRandomBytes: the wire parsers must classify
+// arbitrary bytes as parse-or-error, never panic.
+func TestParsersTotalOnRandomBytes(t *testing.T) {
+	f := func(b []byte) bool {
+		if frame, err := ParseFrame(b); err == nil {
+			if ip, err := ParseIP(frame.Payload); err == nil {
+				_, _ = ParseUDP(ip.Payload)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStackDeliverTotalOnRandomFrames: the full stack must absorb
+// arbitrary frames without panicking, accounting each as delivered,
+// filtered, malformed or port-less.
+func TestStackDeliverTotalOnRandomFrames(t *testing.T) {
+	s, _ := newTestStack(t)
+	if _, err := s.Bind(7); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	f := func(frame []byte) bool {
+		s.Deliver(frame)
+		count++
+		st := s.Stats()
+		total := st.Delivered + st.Filtered + st.NoPort + st.Malformed
+		return total == uint64(count)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPVMFilterTotalOnRandomFrames: a filter program must handle any
+// frame contents, including oversized frames that get truncated into
+// the inspection segment.
+func TestPVMFilterTotalOnRandomFrames(t *testing.T) {
+	meter := clock.NewMeter(clock.DefaultCosts())
+	cf, err := NewCertifiedFilter("p7", sandbox.MustAssemble(PortFilterProgram(7)), meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := NewSandboxedFilter("p7s", sandbox.MustAssemble(PortFilterProgram(7)), meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(frame []byte, pad uint16) bool {
+		if len(frame) > 8000 {
+			frame = frame[:8000]
+		}
+		okC, errC := cf.Accept(frame)
+		okS, errS := sf.Accept(frame)
+		// Certified and sandboxed must agree on every input (the
+		// rewrite is semantics-preserving for in-segment accesses, and
+		// the filter only reads within the segment).
+		if errC != nil || errS != nil {
+			return errC != nil && errS != nil
+		}
+		return okC == okS
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkFilterAgreesAcrossRegimes: the heavier work filter is also
+// placement-independent in its verdicts.
+func TestWorkFilterAgreesAcrossRegimes(t *testing.T) {
+	prog := sandbox.MustAssemble(WorkFilterProgram(9, 128))
+	cf, err := NewCertifiedFilter("w", prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := NewSandboxedFilter("w", prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, port := range []uint16{7, 9, 100} {
+		frame := BuildUDPFrame(macA, macB, ipB, ipA, 1, port, make([]byte, 300))
+		okC, errC := cf.Accept(frame)
+		okS, errS := sf.Accept(frame)
+		if errC != nil || errS != nil {
+			t.Fatalf("port %d: errs %v / %v", port, errC, errS)
+		}
+		if okC != okS {
+			t.Fatalf("port %d: certified=%v sandboxed=%v", port, okC, okS)
+		}
+		if want := port == 9; okC != want {
+			t.Fatalf("port %d: verdict %v, want %v", port, okC, want)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package netstack
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"paramecium/internal/clock"
+	"paramecium/internal/obj"
+)
+
+// StackIface is the interface name exported by the stack object.
+const StackIface = "paramecium.netstack.v1"
+
+// StackDecl is the stack interface's type information.
+var StackDecl = obj.MustInterfaceDecl(StackIface,
+	obj.MethodDecl{Name: "pump", NumIn: 0, NumOut: 1},  // -> frames processed
+	obj.MethodDecl{Name: "send", NumIn: 3, NumOut: 0},  // (dstPort, srcPort, payload)
+	obj.MethodDecl{Name: "stats", NumIn: 0, NumOut: 4}, // -> delivered, filtered, noport, malformed
+)
+
+// Errors.
+var (
+	ErrPortBusy = errors.New("netstack: port already bound")
+	ErrNoPort   = errors.New("netstack: port not bound")
+)
+
+// Stats counts the stack's dispositions.
+type Stats struct {
+	Delivered uint64 // datagrams queued to an endpoint
+	Filtered  uint64 // frames rejected by a filter
+	NoPort    uint64 // datagrams to unbound ports
+	Malformed uint64 // frames that failed to parse
+}
+
+// Stack is the shared protocol stack: it pulls frames from a network
+// driver (any object exporting paramecium.netdev.v1), runs the
+// attached packet filters, parses Ethernet/IP/UDP and demultiplexes
+// datagrams to bound endpoints.
+type Stack struct {
+	*obj.Object
+	driver obj.Invoker
+	meter  *clock.Meter
+
+	// Addr/HWAddr identify this stack on the simulated wire.
+	Addr   IP
+	HWAddr MAC
+
+	mu        sync.Mutex
+	filters   []Filter
+	endpoints map[uint16]*Endpoint
+	stats     Stats
+}
+
+// NewStack builds a stack over a driver interface.
+func NewStack(class string, meter *clock.Meter, driver obj.Invoker, hwaddr MAC, addr IP) (*Stack, error) {
+	if driver == nil {
+		return nil, errors.New("netstack: nil driver")
+	}
+	s := &Stack{
+		Object:    obj.New(class, meter),
+		driver:    driver,
+		meter:     meter,
+		Addr:      addr,
+		HWAddr:    hwaddr,
+		endpoints: make(map[uint16]*Endpoint),
+	}
+	bi, err := s.AddInterface(StackDecl, s)
+	if err != nil {
+		return nil, err
+	}
+	bi.MustBind("pump", func(...any) ([]any, error) {
+		return []any{s.Pump()}, nil
+	}).MustBind("send", func(args ...any) ([]any, error) {
+		dstPort, ok1 := args[0].(uint16)
+		srcPort, ok2 := args[1].(uint16)
+		payload, ok3 := args[2].([]byte)
+		if !ok1 || !ok2 || !ok3 {
+			return nil, fmt.Errorf("netstack: send wants (uint16, uint16, []byte)")
+		}
+		return nil, s.Send(BroadcastMAC, s.Addr, dstPort, srcPort, payload)
+	}).MustBind("stats", func(...any) ([]any, error) {
+		st := s.Stats()
+		return []any{st.Delivered, st.Filtered, st.NoPort, st.Malformed}, nil
+	})
+	return s, nil
+}
+
+// BroadcastMAC is the all-ones hardware address.
+var BroadcastMAC = MAC{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+
+// AttachFilter appends a filter to the chain (run in attach order).
+func (s *Stack) AttachFilter(f Filter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.filters = append(s.filters, f)
+}
+
+// DetachFilter removes the named filter.
+func (s *Stack) DetachFilter(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, f := range s.filters {
+		if f.Name() == name {
+			s.filters = append(s.filters[:i], s.filters[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("netstack: no filter %q", name)
+}
+
+// Filters lists attached filter names in order.
+func (s *Stack) Filters() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.filters))
+	for i, f := range s.filters {
+		out[i] = f.Name()
+	}
+	return out
+}
+
+// Bind claims a UDP port and returns its endpoint.
+func (s *Stack) Bind(port uint16) (*Endpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, busy := s.endpoints[port]; busy {
+		return nil, fmt.Errorf("%w: %d", ErrPortBusy, port)
+	}
+	ep := &Endpoint{stack: s, port: port}
+	s.endpoints[port] = ep
+	return ep, nil
+}
+
+// Unbind releases a port.
+func (s *Stack) Unbind(port uint16) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.endpoints[port]; !ok {
+		return fmt.Errorf("%w: %d", ErrNoPort, port)
+	}
+	delete(s.endpoints, port)
+	return nil
+}
+
+// Pump drains the driver's receive queue through the stack and
+// returns the number of frames processed.
+func (s *Stack) Pump() int {
+	n := 0
+	for {
+		res, err := s.driver.Invoke("recv")
+		if err != nil {
+			return n
+		}
+		frame, _ := res[0].([]byte)
+		if frame == nil {
+			return n
+		}
+		s.Deliver(frame)
+		n++
+	}
+}
+
+// Deliver pushes one raw frame through filters, parsing and
+// demultiplexing. It is exported so the experiments can feed the
+// stack directly.
+func (s *Stack) Deliver(frame []byte) {
+	s.mu.Lock()
+	filters := s.filters
+	s.mu.Unlock()
+	for _, f := range filters {
+		ok, err := f.Accept(frame)
+		if err != nil || !ok {
+			s.mu.Lock()
+			s.stats.Filtered++
+			s.mu.Unlock()
+			return
+		}
+	}
+	// Header processing is charged per protocol layer, the payload
+	// copy per word, so the stack's own cost is visible in virtual
+	// time alongside the filters'.
+	if s.meter != nil {
+		s.meter.ChargeN(clock.OpCall, 3)
+		s.meter.ChargeN(clock.OpCopyWord, uint64(len(frame)+7)/8)
+	}
+	eth, err := ParseFrame(frame)
+	if err != nil || eth.EtherType != EtherTypeIP {
+		s.countMalformed()
+		return
+	}
+	ip, err := ParseIP(eth.Payload)
+	if err != nil || ip.Proto != ProtoUDP {
+		s.countMalformed()
+		return
+	}
+	udp, err := ParseUDP(ip.Payload)
+	if err != nil {
+		s.countMalformed()
+		return
+	}
+	s.mu.Lock()
+	ep, ok := s.endpoints[udp.DstPort]
+	if !ok {
+		s.stats.NoPort++
+		s.mu.Unlock()
+		return
+	}
+	s.stats.Delivered++
+	s.mu.Unlock()
+	ep.push(Received{Src: ip.Src, SrcPort: udp.SrcPort, Payload: append([]byte{}, udp.Payload...)})
+}
+
+func (s *Stack) countMalformed() {
+	s.mu.Lock()
+	s.stats.Malformed++
+	s.mu.Unlock()
+}
+
+// Send transmits a UDP datagram through the driver.
+func (s *Stack) Send(dstMAC MAC, dstIP IP, dstPort, srcPort uint16, payload []byte) error {
+	frame := BuildUDPFrame(dstMAC, s.HWAddr, s.Addr, dstIP, srcPort, dstPort, payload)
+	_, err := s.driver.Invoke("send", frame)
+	return err
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Stack) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Received is one delivered datagram.
+type Received struct {
+	Src     IP
+	SrcPort uint16
+	Payload []byte
+}
+
+// Endpoint is a bound UDP port's receive queue.
+type Endpoint struct {
+	stack *Stack
+	port  uint16
+
+	mu sync.Mutex
+	q  []Received
+}
+
+// Port reports the bound port.
+func (e *Endpoint) Port() uint16 { return e.port }
+
+func (e *Endpoint) push(r Received) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.q = append(e.q, r)
+}
+
+// Recv pops the oldest datagram.
+func (e *Endpoint) Recv() (Received, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.q) == 0 {
+		return Received{}, false
+	}
+	r := e.q[0]
+	e.q = e.q[1:]
+	return r, true
+}
+
+// Len reports queued datagrams.
+func (e *Endpoint) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.q)
+}

@@ -1,0 +1,135 @@
+package obj
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"paramecium/internal/clock"
+)
+
+// Composition is an ordinary object composed of other object
+// instances: "composition is to objects what objects are to data: an
+// encapsulation technique". A composition exports interfaces like any
+// object (typically delegated to its children) and can itself be a
+// child of a larger composition — the paper notes composition applies
+// recursively; the Paramecium kernel itself is a composition of the
+// interrupt, context and naming objects.
+type Composition struct {
+	*Object
+
+	mu       sync.RWMutex
+	children map[string]Instance
+}
+
+// NewComposition creates a run-time (dynamic) composition.
+func NewComposition(class string, meter *clock.Meter) *Composition {
+	return &Composition{
+		Object:   New(class, meter),
+		children: make(map[string]Instance),
+	}
+}
+
+// NewStaticComposition creates a link-time composition (the resident
+// part of the kernel is the only static composition in the system).
+func NewStaticComposition(class string, meter *clock.Meter) *Composition {
+	return &Composition{
+		Object:   NewStatic(class, meter),
+		children: make(map[string]Instance),
+	}
+}
+
+// AddChild mounts an instance under a role name.
+func (c *Composition) AddChild(role string, inst Instance) error {
+	if inst == nil {
+		return fmt.Errorf("obj: nil child for role %q", role)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.children[role]; dup {
+		return fmt.Errorf("obj: composition %q already has child %q", c.Class(), role)
+	}
+	c.children[role] = inst
+	return nil
+}
+
+// ReplaceChild swaps the instance under a role for a new one; this is
+// the mechanism behind run-time recomposition ("allows for the
+// composing objects to be replaced by new instances"). It returns the
+// previous instance.
+func (c *Composition) ReplaceChild(role string, inst Instance) (Instance, error) {
+	if inst == nil {
+		return nil, fmt.Errorf("obj: nil child for role %q", role)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev, ok := c.children[role]
+	if !ok {
+		return nil, fmt.Errorf("obj: composition %q has no child %q", c.Class(), role)
+	}
+	c.children[role] = inst
+	return prev, nil
+}
+
+// RemoveChild unmounts a role.
+func (c *Composition) RemoveChild(role string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.children[role]; !ok {
+		return fmt.Errorf("obj: composition %q has no child %q", c.Class(), role)
+	}
+	delete(c.children, role)
+	return nil
+}
+
+// Child returns the instance mounted under role.
+func (c *Composition) Child(role string) (Instance, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	inst, ok := c.children[role]
+	return inst, ok
+}
+
+// Roles lists the mounted role names, sorted.
+func (c *Composition) Roles() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.children))
+	for r := range c.children {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExportChildInterface re-exports an interface of a child as an
+// interface of the composition itself, forwarding all calls. This is
+// the common way a composition presents a facade assembled from its
+// parts.
+func (c *Composition) ExportChildInterface(role, ifaceName string) error {
+	c.mu.RLock()
+	child, ok := c.children[role]
+	c.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("obj: composition %q has no child %q", c.Class(), role)
+	}
+	target, ok := child.Iface(ifaceName)
+	if !ok {
+		return fmt.Errorf("%w: child %q does not export %q", ErrNoInterface, role, ifaceName)
+	}
+	bi, err := c.AddInterface(target.Decl(), target.State())
+	if err != nil {
+		return err
+	}
+	for _, m := range target.Decl().Methods {
+		name := m.Name
+		if err := bi.Bind(name, func(args ...any) ([]any, error) {
+			return target.Invoke(name, args...)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var _ Instance = (*Composition)(nil)

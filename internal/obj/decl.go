@@ -1,0 +1,129 @@
+// Package obj implements the Paramecium software architecture of
+// Section 2 of the paper: coarse-grained objects that export one or
+// more *named interfaces*, where an interface is "a set of methods,
+// state pointers and type information". The package also provides the
+// two structuring mechanisms the paper builds on top of objects:
+// method delegation (code sharing) and composition (encapsulation of
+// object instances, applicable recursively).
+//
+// Both operating-system components (drivers, protocol stacks,
+// schedulers) and application components (allocators, matrices) are
+// expressed in this one architecture so that they can be interchanged
+// and relocated between protection domains.
+package obj
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Method is a late-bound method implementation. Arguments and results
+// are dynamically typed; the interface declaration carries the arity
+// used for call validation, mirroring the paper's "type information".
+type Method func(args ...any) ([]any, error)
+
+// MethodDecl declares one method of an interface: its name and arity.
+type MethodDecl struct {
+	Name   string
+	NumIn  int
+	NumOut int
+}
+
+// InterfaceDecl is the type information of a named interface. Decls are
+// immutable after construction and may be shared between many objects.
+type InterfaceDecl struct {
+	// Name identifies the interface, e.g. "paramecium.rpc.v1".
+	// Objects may export several independently named interfaces; adding
+	// a new one (say a measurement interface) never invalidates
+	// existing users of the others.
+	Name    string
+	Methods []MethodDecl
+
+	byName map[string]*MethodDecl
+}
+
+// NewInterfaceDecl builds a declaration. Method names must be unique.
+func NewInterfaceDecl(name string, methods ...MethodDecl) (*InterfaceDecl, error) {
+	if name == "" {
+		return nil, errors.New("obj: empty interface name")
+	}
+	d := &InterfaceDecl{Name: name, Methods: methods, byName: make(map[string]*MethodDecl, len(methods))}
+	for i := range methods {
+		m := &d.Methods[i]
+		if m.Name == "" {
+			return nil, fmt.Errorf("obj: interface %q has an unnamed method", name)
+		}
+		if _, dup := d.byName[m.Name]; dup {
+			return nil, fmt.Errorf("obj: interface %q declares method %q twice", name, m.Name)
+		}
+		d.byName[m.Name] = m
+	}
+	return d, nil
+}
+
+// MustInterfaceDecl is NewInterfaceDecl that panics on error; intended
+// for package-level declarations of well-known interfaces.
+func MustInterfaceDecl(name string, methods ...MethodDecl) *InterfaceDecl {
+	d, err := NewInterfaceDecl(name, methods...)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Method returns the declaration of a method by name.
+func (d *InterfaceDecl) Method(name string) (*MethodDecl, bool) {
+	m, ok := d.byName[name]
+	return m, ok
+}
+
+// MethodNames returns the declared method names in sorted order.
+func (d *InterfaceDecl) MethodNames() []string {
+	out := make([]string, 0, len(d.Methods))
+	for _, m := range d.Methods {
+		out = append(out, m.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Invoker is the universal calling surface of a bound interface. Real
+// objects, interposers and cross-domain proxies all satisfy it, which
+// is what lets the name space hand out any of them interchangeably.
+type Invoker interface {
+	// Decl returns the interface's type information.
+	Decl() *InterfaceDecl
+	// State returns the interface's state pointer (may be nil).
+	State() any
+	// Invoke calls a method by name.
+	Invoke(method string, args ...any) ([]any, error)
+}
+
+// Instance is anything that can be registered in, and bound from, the
+// name space: an object, a composition, an interposing agent or a
+// proxy for an object in another protection domain.
+type Instance interface {
+	// Class is the component (not instance) name, e.g. "netdriver".
+	Class() string
+	// InterfaceNames lists the exported interfaces, sorted.
+	InterfaceNames() []string
+	// Iface returns the named exported interface.
+	Iface(name string) (Invoker, bool)
+}
+
+// Errors shared across implementations of Invoker.
+var (
+	ErrNoInterface = errors.New("obj: no such interface")
+	ErrNoMethod    = errors.New("obj: no such method")
+	ErrUnbound     = errors.New("obj: method declared but not bound")
+	ErrArity       = errors.New("obj: wrong number of arguments")
+)
+
+// CheckArity validates an argument list against a method declaration.
+func CheckArity(d *MethodDecl, args []any) error {
+	if d.NumIn >= 0 && len(args) != d.NumIn {
+		return fmt.Errorf("%w: %s takes %d args, got %d", ErrArity, d.Name, d.NumIn, len(args))
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package obj
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"paramecium/internal/clock"
+)
+
+// Interposer is an interposing agent in the sense of Jones [3] as used
+// by the paper: an object that "exports a superset of the original
+// object's interfaces, reimplements those methods it sees fit and
+// forwards the others to the original object". Replacing an object
+// handle in the name space with an interposer transparently puts the
+// agent on every future binding — the basis of the paper's monitoring
+// and debugging tools.
+type Interposer struct {
+	class  string
+	target Instance
+	meter  *clock.Meter
+
+	mu     sync.RWMutex
+	wraps  map[string]map[string]WrapFunc // iface -> method -> wrapper
+	extras map[string]Invoker             // additional interfaces (the superset part)
+}
+
+// WrapFunc reimplements one method. next invokes the original
+// implementation, so a wrapper can run code before and after, modify
+// arguments or results, or suppress the call entirely.
+type WrapFunc func(next Method, args ...any) ([]any, error)
+
+// NewInterposer wraps target. The interposer initially forwards
+// everything; use Wrap and AddExtraInterface to specialize it.
+func NewInterposer(class string, target Instance) *Interposer {
+	return &Interposer{
+		class:  class,
+		target: target,
+		wraps:  make(map[string]map[string]WrapFunc),
+		extras: make(map[string]Invoker),
+	}
+}
+
+// Target returns the wrapped instance.
+func (ip *Interposer) Target() Instance { return ip.target }
+
+// SetMeter makes the interposer charge one indirect-call cost per
+// invocation passing through it, so interposition layers are visible
+// in virtual time (experiment T1).
+func (ip *Interposer) SetMeter(m *clock.Meter) {
+	ip.mu.Lock()
+	ip.meter = m
+	ip.mu.Unlock()
+}
+
+// Class implements Instance.
+func (ip *Interposer) Class() string { return ip.class }
+
+// Wrap reimplements one method of one interface of the target.
+func (ip *Interposer) Wrap(ifaceName, method string, w WrapFunc) error {
+	target, ok := ip.target.Iface(ifaceName)
+	if !ok {
+		return fmt.Errorf("%w: target %q has no %q", ErrNoInterface, ip.target.Class(), ifaceName)
+	}
+	if _, ok := target.Decl().Method(method); !ok {
+		return fmt.Errorf("%w: %q.%s", ErrNoMethod, ifaceName, method)
+	}
+	ip.mu.Lock()
+	defer ip.mu.Unlock()
+	m := ip.wraps[ifaceName]
+	if m == nil {
+		m = make(map[string]WrapFunc)
+		ip.wraps[ifaceName] = m
+	}
+	m[method] = w
+	return nil
+}
+
+// AddExtraInterface exports an interface the target does not have —
+// the "superset" in the paper's definition (e.g. a measurement
+// interface on a wrapped RPC object).
+func (ip *Interposer) AddExtraInterface(iv Invoker) error {
+	name := iv.Decl().Name
+	if _, ok := ip.target.Iface(name); ok {
+		return fmt.Errorf("obj: %q already exported by target; use Wrap", name)
+	}
+	ip.mu.Lock()
+	defer ip.mu.Unlock()
+	if _, dup := ip.extras[name]; dup {
+		return fmt.Errorf("obj: extra interface %q already added", name)
+	}
+	ip.extras[name] = iv
+	return nil
+}
+
+// InterfaceNames implements Instance: the union of the target's
+// interfaces and the extras, sorted.
+func (ip *Interposer) InterfaceNames() []string {
+	names := ip.target.InterfaceNames()
+	ip.mu.RLock()
+	for n := range ip.extras {
+		names = append(names, n)
+	}
+	ip.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Iface implements Instance.
+func (ip *Interposer) Iface(name string) (Invoker, bool) {
+	ip.mu.RLock()
+	if extra, ok := ip.extras[name]; ok {
+		ip.mu.RUnlock()
+		return extra, true
+	}
+	wraps := ip.wraps[name]
+	meter := ip.meter
+	ip.mu.RUnlock()
+	target, ok := ip.target.Iface(name)
+	if !ok {
+		return nil, false
+	}
+	return &interposedIface{target: target, wraps: wraps, meter: meter}, true
+}
+
+// interposedIface presents one interface of the target with wrappers
+// applied. Unwrapped methods forward directly.
+type interposedIface struct {
+	target Invoker
+	wraps  map[string]WrapFunc
+	meter  *clock.Meter
+}
+
+func (ii *interposedIface) Decl() *InterfaceDecl { return ii.target.Decl() }
+func (ii *interposedIface) State() any           { return ii.target.State() }
+
+func (ii *interposedIface) Invoke(method string, args ...any) ([]any, error) {
+	if ii.meter != nil {
+		ii.meter.Charge(clock.OpIndirect)
+	}
+	if w, ok := ii.wraps[method]; ok {
+		next := func(a ...any) ([]any, error) {
+			return ii.target.Invoke(method, a...)
+		}
+		return w(next, args...)
+	}
+	return ii.target.Invoke(method, args...)
+}
+
+var _ Instance = (*Interposer)(nil)
+var _ Invoker = (*interposedIface)(nil)

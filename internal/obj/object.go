@@ -1,0 +1,231 @@
+package obj
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"paramecium/internal/clock"
+)
+
+// Origin records whether an object instance was composed statically
+// (at link time, like the resident nucleus) or dynamically (at run
+// time, the common case).
+type Origin int
+
+// Origins.
+const (
+	LinkTime Origin = iota
+	RunTime
+)
+
+func (o Origin) String() string {
+	if o == LinkTime {
+		return "link-time"
+	}
+	return "run-time"
+}
+
+// Object is a concrete component instance: methods plus instance data,
+// exporting one or more named interfaces. Objects are coarse grained —
+// a scheduler, an IP layer, a device driver, a memory allocator.
+type Object struct {
+	class  string
+	origin Origin
+	meter  *clock.Meter
+
+	mu     sync.RWMutex
+	ifaces map[string]*BoundInterface
+}
+
+// New creates an empty object of the given class. meter may be nil
+// (no cycle accounting), which the unit tests of higher layers use.
+func New(class string, meter *clock.Meter) *Object {
+	return &Object{
+		class:  class,
+		origin: RunTime,
+		meter:  meter,
+		ifaces: make(map[string]*BoundInterface),
+	}
+}
+
+// NewStatic creates a link-time object (used for the resident nucleus).
+func NewStatic(class string, meter *clock.Meter) *Object {
+	o := New(class, meter)
+	o.origin = LinkTime
+	return o
+}
+
+// Class implements Instance.
+func (o *Object) Class() string { return o.class }
+
+// Origin reports how the instance was composed.
+func (o *Object) Origin() Origin { return o.origin }
+
+// AddInterface exports a new named interface with the given state
+// pointer. All methods start unbound; use Bind or Delegate. Exporting
+// an additional interface never disturbs existing interfaces — this is
+// the paper's interface-evolution story.
+func (o *Object) AddInterface(decl *InterfaceDecl, state any) (*BoundInterface, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, dup := o.ifaces[decl.Name]; dup {
+		return nil, fmt.Errorf("obj: object %q already exports %q", o.class, decl.Name)
+	}
+	bi := &BoundInterface{decl: decl, state: state, meter: o.meter, slots: make(map[string]Method, len(decl.Methods))}
+	o.ifaces[decl.Name] = bi
+	return bi, nil
+}
+
+// RemoveInterface withdraws an exported interface.
+func (o *Object) RemoveInterface(name string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, ok := o.ifaces[name]; !ok {
+		return fmt.Errorf("%w: %q on %q", ErrNoInterface, name, o.class)
+	}
+	delete(o.ifaces, name)
+	return nil
+}
+
+// Iface implements Instance.
+func (o *Object) Iface(name string) (Invoker, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	bi, ok := o.ifaces[name]
+	if !ok {
+		return nil, false
+	}
+	return bi, true
+}
+
+// Bound returns the concrete bound interface (for binding methods).
+func (o *Object) Bound(name string) (*BoundInterface, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	bi, ok := o.ifaces[name]
+	return bi, ok
+}
+
+// InterfaceNames implements Instance.
+func (o *Object) InterfaceNames() []string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := make([]string, 0, len(o.ifaces))
+	for n := range o.ifaces {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Delegate binds every still-unbound method of the named interface to
+// the same-named interface of another instance, forwarding calls. This
+// is the paper's method delegation: the delegating object shares the
+// delegate's code while keeping its own identity and any methods it
+// bound itself.
+func (o *Object) Delegate(ifaceName string, to Instance) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	bi, ok := o.ifaces[ifaceName]
+	if !ok {
+		return fmt.Errorf("%w: %q on %q", ErrNoInterface, ifaceName, o.class)
+	}
+	target, ok := to.Iface(ifaceName)
+	if !ok {
+		return fmt.Errorf("%w: delegate %q does not export %q", ErrNoInterface, to.Class(), ifaceName)
+	}
+	bi.mu.Lock()
+	defer bi.mu.Unlock()
+	for _, m := range bi.decl.Methods {
+		if _, bound := bi.slots[m.Name]; bound {
+			continue
+		}
+		name := m.Name
+		bi.slots[name] = func(args ...any) ([]any, error) {
+			return target.Invoke(name, args...)
+		}
+	}
+	return nil
+}
+
+// FullyBound reports whether every declared method of every exported
+// interface has an implementation. The repository loader refuses to
+// register incompletely bound instances.
+func (o *Object) FullyBound() bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	for _, bi := range o.ifaces {
+		bi.mu.RLock()
+		complete := len(bi.slots) == len(bi.decl.Methods)
+		bi.mu.RUnlock()
+		if !complete {
+			return false
+		}
+	}
+	return true
+}
+
+// BoundInterface is an interface exported by a concrete object: the
+// declaration, the state pointer, and the bound method slots.
+type BoundInterface struct {
+	decl  *InterfaceDecl
+	state any
+	meter *clock.Meter
+
+	mu    sync.RWMutex
+	slots map[string]Method
+}
+
+// Decl implements Invoker.
+func (b *BoundInterface) Decl() *InterfaceDecl { return b.decl }
+
+// State implements Invoker.
+func (b *BoundInterface) State() any { return b.state }
+
+// Bind installs the implementation of one declared method.
+func (b *BoundInterface) Bind(method string, fn Method) error {
+	if _, ok := b.decl.Method(method); !ok {
+		return fmt.Errorf("%w: %q not declared by %q", ErrNoMethod, method, b.decl.Name)
+	}
+	if fn == nil {
+		return fmt.Errorf("obj: nil implementation for %q.%s", b.decl.Name, method)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.slots[method] = fn
+	return nil
+}
+
+// MustBind is Bind that panics on error, for construction-time wiring.
+func (b *BoundInterface) MustBind(method string, fn Method) *BoundInterface {
+	if err := b.Bind(method, fn); err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Invoke implements Invoker. It validates arity against the type
+// information and charges one indirect-call cost.
+func (b *BoundInterface) Invoke(method string, args ...any) ([]any, error) {
+	md, ok := b.decl.Method(method)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q.%s", ErrNoMethod, b.decl.Name, method)
+	}
+	if err := CheckArity(md, args); err != nil {
+		return nil, err
+	}
+	b.mu.RLock()
+	fn, bound := b.slots[method]
+	b.mu.RUnlock()
+	if !bound {
+		return nil, fmt.Errorf("%w: %q.%s", ErrUnbound, b.decl.Name, method)
+	}
+	if b.meter != nil {
+		b.meter.Charge(clock.OpIndirect)
+	}
+	return fn(args...)
+}
+
+var _ Invoker = (*BoundInterface)(nil)
+var _ Instance = (*Object)(nil)

@@ -1,0 +1,312 @@
+// Package proxy implements Paramecium's cross-domain invocation:
+// "Importing an object from another protection domain, by means of the
+// directory service, causes a proxy to appear. This proxy provides
+// exactly the same set of interfaces as the original object, but each
+// interface entry will cause a page fault when referenced. Control is
+// then transferred to a per page fault handler which will map in
+// arguments into the object's protection domain, switch context, and
+// invoke the actual method. Return values are handled similarly."
+//
+// A Proxy satisfies obj.Instance, so the directory service can hand it
+// out exactly where a local object would appear; callers cannot tell
+// the difference except in cycles.
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"paramecium/internal/clock"
+	"paramecium/internal/hw"
+	"paramecium/internal/mem"
+	"paramecium/internal/mmu"
+	"paramecium/internal/obj"
+)
+
+// Errors.
+var (
+	ErrClosed     = errors.New("proxy: proxy closed")
+	ErrNoDelivery = errors.New("proxy: fault did not reach the call handler")
+)
+
+// DefaultEntryBase is where proxy entry pages are placed in the
+// caller's address space when the factory is built with base 0.
+const DefaultEntryBase mmu.VAddr = 0x7000_0000
+
+// Factory creates proxies, managing the entry-page address space of
+// each client context.
+type Factory struct {
+	svc  *mem.Service
+	base mmu.VAddr
+
+	mu     sync.Mutex
+	nextVA map[mmu.ContextID]mmu.VAddr
+}
+
+// NewFactory builds a factory allocating entry pages from base.
+func NewFactory(svc *mem.Service, base mmu.VAddr) *Factory {
+	if base == 0 {
+		base = DefaultEntryBase
+	}
+	return &Factory{svc: svc, base: base, nextVA: make(map[mmu.ContextID]mmu.VAddr)}
+}
+
+// allocEntryPage reserves one (never-mapped) page of entry slots in
+// callerCtx.
+func (f *Factory) allocEntryPage(callerCtx mmu.ContextID) mmu.VAddr {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	va, ok := f.nextVA[callerCtx]
+	if !ok {
+		va = f.base
+	}
+	f.nextVA[callerCtx] = va + mmu.PageSize
+	return va
+}
+
+// New builds a proxy in callerCtx for target living in targetCtx. One
+// entry page per exported interface is reserved; each method occupies
+// an 8-byte slot on its page.
+func (f *Factory) New(callerCtx, targetCtx mmu.ContextID, target obj.Instance) (*Proxy, error) {
+	if target == nil {
+		return nil, errors.New("proxy: nil target")
+	}
+	p := &Proxy{
+		factory:   f,
+		class:     target.Class(),
+		callerCtx: callerCtx,
+		targetCtx: targetCtx,
+		target:    target,
+		ifaces:    make(map[string]*entryIface),
+	}
+	for _, name := range target.InterfaceNames() {
+		iv, ok := target.Iface(name)
+		if !ok {
+			continue
+		}
+		pageVA := f.allocEntryPage(callerCtx)
+		ei := &entryIface{proxy: p, target: iv, pageVA: pageVA, slots: make(map[string]int)}
+		methods := iv.Decl().MethodNames()
+		sort.Strings(methods)
+		for i, m := range methods {
+			ei.slots[m] = i
+		}
+		if err := f.svc.RegisterFaultHandler(callerCtx, pageVA, ei.handleFault); err != nil {
+			p.closeLocked()
+			return nil, fmt.Errorf("proxy: entry page for %q: %w", name, err)
+		}
+		p.ifaces[name] = ei
+	}
+	return p, nil
+}
+
+// Proxy is a cross-domain stand-in for an object in another protection
+// domain.
+type Proxy struct {
+	factory   *Factory
+	class     string
+	callerCtx mmu.ContextID
+	targetCtx mmu.ContextID
+	target    obj.Instance
+
+	mu     sync.Mutex
+	closed bool
+	ifaces map[string]*entryIface
+	calls  uint64
+}
+
+// Class implements obj.Instance. Proxies are transparent: they present
+// the target's class name.
+func (p *Proxy) Class() string { return p.class }
+
+// InterfaceNames implements obj.Instance.
+func (p *Proxy) InterfaceNames() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.ifaces))
+	for n := range p.ifaces {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Iface implements obj.Instance.
+func (p *Proxy) Iface(name string) (obj.Invoker, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ei, ok := p.ifaces[name]
+	if !ok {
+		return nil, false
+	}
+	return ei, true
+}
+
+// Calls reports the number of cross-domain invocations performed.
+func (p *Proxy) Calls() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.calls
+}
+
+// TargetContext reports the protection domain of the real object.
+func (p *Proxy) TargetContext() mmu.ContextID { return p.targetCtx }
+
+// Close releases the proxy's entry pages and fault handlers.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closeLocked()
+}
+
+func (p *Proxy) closeLocked() error {
+	if p.closed {
+		return ErrClosed
+	}
+	p.closed = true
+	for _, ei := range p.ifaces {
+		_ = p.factory.svc.UnregisterFaultHandler(p.callerCtx, ei.pageVA)
+	}
+	return nil
+}
+
+// entryIface is one interface's entry page plus its live call state.
+type entryIface struct {
+	proxy  *Proxy
+	target obj.Invoker
+	pageVA mmu.VAddr
+	slots  map[string]int // method -> slot index
+
+	mu      sync.Mutex // serializes calls through this interface
+	pending *pendingCall
+}
+
+type pendingCall struct {
+	method string
+	args   []any
+	res    []any
+	err    error
+	done   bool
+}
+
+// Decl implements obj.Invoker.
+func (e *entryIface) Decl() *obj.InterfaceDecl { return e.target.Decl() }
+
+// State implements obj.Invoker. Cross-domain state pointers are not
+// addressable from the caller's domain; proxies return nil, exactly as
+// a hardware implementation would have to.
+func (e *entryIface) State() any { return nil }
+
+// Invoke implements obj.Invoker: it references the method's entry
+// slot, taking the page fault that drives the cross-domain call.
+func (e *entryIface) Invoke(method string, args ...any) ([]any, error) {
+	p := e.proxy
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	p.mu.Unlock()
+
+	slot, ok := e.slots[method]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q.%s", obj.ErrNoMethod, e.target.Decl().Name, method)
+	}
+	if md, ok := e.target.Decl().Method(method); ok {
+		if err := obj.CheckArity(md, args); err != nil {
+			return nil, err
+		}
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	call := &pendingCall{method: method, args: args}
+	e.pending = call
+	defer func() { e.pending = nil }()
+
+	// Touch the entry slot: unmapped, so this page-faults into the
+	// kernel, whose per-page handler performs the actual invocation.
+	slotVA := e.pageVA + mmu.VAddr(slot*8)
+	machine := p.factory.svc.Machine()
+	_ = machine.Touch(p.callerCtx, slotVA, mmu.AccessExec)
+
+	if !call.done {
+		return nil, fmt.Errorf("%w: %q.%s", ErrNoDelivery, e.target.Decl().Name, method)
+	}
+	p.mu.Lock()
+	p.calls++
+	p.mu.Unlock()
+	return call.res, call.err
+}
+
+// handleFault is the per-page fault handler: the kernel half of the
+// cross-domain call. It maps in the arguments (charged as word
+// copies), switches to the target's context, invokes the real method,
+// switches back, and copies out the results.
+func (e *entryIface) handleFault(f *hw.TrapFrame) bool {
+	e.proxy.mu.Lock()
+	closed := e.proxy.closed
+	e.proxy.mu.Unlock()
+	if closed {
+		return false
+	}
+	call := e.pending
+	if call == nil {
+		// A stray touch of the entry page (not a proxy call): leave
+		// the fault unresolved.
+		return false
+	}
+	machine := e.proxy.factory.svc.Machine()
+	meter := machine.Meter
+
+	// Map in arguments.
+	meter.ChargeN(clock.OpCopyWord, wordsOf(call.args))
+
+	cur := machine.MMU.Current()
+	switched := cur != e.proxy.targetCtx
+	if switched {
+		if err := machine.MMU.Switch(e.proxy.targetCtx); err != nil {
+			call.err = fmt.Errorf("proxy: target domain gone: %w", err)
+			call.done = true
+			return false
+		}
+	}
+	call.res, call.err = e.target.Invoke(call.method, call.args...)
+	if switched {
+		_ = machine.MMU.Switch(cur)
+	}
+
+	// Return values are handled similarly.
+	meter.ChargeN(clock.OpCopyWord, wordsOf(call.res))
+	call.done = true
+	// The entry page stays unmapped (the next call must fault again),
+	// so the fault is reported as unresolved; Invoke picks the results
+	// out of the call record.
+	return false
+}
+
+// wordsOf estimates the 8-byte words needed to carry a value list
+// across domains.
+func wordsOf(vals []any) uint64 {
+	var bytes uint64
+	for _, v := range vals {
+		switch x := v.(type) {
+		case nil:
+			bytes += 8
+		case string:
+			bytes += uint64(len(x)) + 8
+		case []byte:
+			bytes += uint64(len(x)) + 8
+		case []any:
+			bytes += 8 * uint64(len(x))
+		default:
+			bytes += 8
+		}
+	}
+	return (bytes + 7) / 8
+}
+
+var _ obj.Instance = (*Proxy)(nil)
+var _ obj.Invoker = (*entryIface)(nil)

@@ -1,0 +1,104 @@
+package sandbox
+
+import (
+	"testing"
+	"testing/quick"
+
+	"paramecium/internal/clock"
+)
+
+// TestInterpreterTotalOnRandomPrograms feeds the interpreter random
+// instruction streams: it must always terminate (fuel) and never
+// panic, regardless of how malformed the program is. This is the
+// robustness property a kernel-resident interpreter must have even
+// for *certified* components — certification protects trust, not the
+// interpreter's own totality.
+func TestInterpreterTotalOnRandomPrograms(t *testing.T) {
+	f := func(raw []byte, memSeed uint64) bool {
+		// Build a program from raw bytes, 12 per instruction.
+		n := len(raw) / instrSize
+		if n == 0 {
+			return true
+		}
+		prog := make(Program, n)
+		for i := range prog {
+			b := raw[i*instrSize : (i+1)*instrSize]
+			prog[i] = Instr{
+				Op:  Opcode(b[0] % uint8(opcodeCount+3)), // include some illegal ops
+				A:   b[1] % (NumRegs + 2),                // include some bad regs
+				B:   b[2] % (NumRegs + 2),
+				C:   b[3] % (NumRegs + 2),
+				Imm: int64(int8(b[4])), // small immediates hit jump targets
+			}
+		}
+		mem := make([]byte, 256)
+		clock.NewRand(memSeed).Bytes(mem)
+		e := Exec{Fuel: 10_000}
+		_, _ = e.Run(prog, mem) // must not panic or hang
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRewriteTotalOnVerifiedPrograms: any program the verifier
+// accepts must survive rewriting, and the rewritten form must pass
+// sandbox-enforced execution or fail with a clean error.
+func TestRewriteTotalOnVerifiedPrograms(t *testing.T) {
+	f := func(raw []byte) bool {
+		n := len(raw) / instrSize
+		if n == 0 {
+			return true
+		}
+		prog := make(Program, n)
+		for i := range prog {
+			b := raw[i*instrSize : (i+1)*instrSize]
+			prog[i] = Instr{
+				Op:  Opcode(b[0] % uint8(opcodeCount)),
+				A:   b[1] % (NumRegs - 1), // avoid the sandbox register
+				B:   b[2] % (NumRegs - 1),
+				C:   b[3] % (NumRegs - 1),
+				Imm: int64(b[4]) % int64(n),
+			}
+		}
+		if Verify(prog) != nil {
+			return true // verifier rejected: out of scope
+		}
+		rewritten, err := Rewrite(prog)
+		if err != nil {
+			return false // verified programs must rewrite
+		}
+		e := Exec{Fuel: 10_000, EnforceSandbox: true}
+		_, _ = e.Run(rewritten, make([]byte, 256))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeTotalOnRandomImages: image decoding must never panic.
+func TestDecodeTotalOnRandomImages(t *testing.T) {
+	f := func(image []byte) bool {
+		_, _ = Decode(image)
+		// Also with a valid magic prefix stapled on.
+		_, _ = Decode(append([]byte(imageMagic), image...))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAssembleTotalOnRandomText: the assembler must reject or accept,
+// never panic, on arbitrary text.
+func TestAssembleTotalOnRandomText(t *testing.T) {
+	f := func(src string) bool {
+		_, _ = Assemble(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+// Package sandbox implements PVM, a small register bytecode used as
+// the machine language of downloadable components in the reproduction.
+//
+// PVM exists to make the paper's central comparison concrete. A
+// component image (an encoded PVM program) can be executed three ways:
+//
+//   - certified: the image was validated at load time by the
+//     certification service, so it runs with no run-time checks;
+//   - sandboxed: the image is first passed through the SFI rewriter
+//     (after Wahbe et al.), which inserts an address-masking check
+//     before every memory reference, exactly the per-access overhead
+//     software fault isolation pays;
+//   - user-level: the image runs unmodified in its own protection
+//     domain and is reached through a cross-domain proxy.
+//
+// The interpreter charges one OpVMInstr per executed instruction and
+// one OpSFICheck per executed check, so the three placements differ in
+// precisely the costs the paper argues about.
+package sandbox
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// NumRegs is the number of general-purpose registers.
+const NumRegs = 16
+
+// SandboxReg is the register reserved by the SFI rewriter for masked
+// effective addresses, after Wahbe's dedicated-register technique.
+// The verifier rejects source programs that use it.
+const SandboxReg = 15
+
+// Opcode identifies a PVM instruction.
+type Opcode uint8
+
+// The instruction set.
+const (
+	OpHalt  Opcode = iota // halt; return value in reg A
+	OpLoadI               // A <- Imm
+	OpMov                 // A <- B
+	OpAdd                 // A <- B + C
+	OpSub                 // A <- B - C
+	OpMul                 // A <- B * C
+	OpAnd                 // A <- B & C
+	OpOr                  // A <- B | C
+	OpXor                 // A <- B ^ C
+	OpShl                 // A <- B << (C & 63)
+	OpShr                 // A <- B >> (C & 63)
+	OpAddI                // A <- B + Imm
+	OpLd8                 // A <- mem8[B + Imm]
+	OpLd16                // A <- mem16[B + Imm] (big endian)
+	OpLd32                // A <- mem32[B + Imm]
+	OpLd64                // A <- mem64[B + Imm]
+	OpSt8                 // mem8[B + Imm] <- A
+	OpSt16                // mem16[B + Imm] <- A
+	OpSt32                // mem32[B + Imm] <- A
+	OpSt64                // mem64[B + Imm] <- A
+	OpJmp                 // pc <- Imm
+	OpJeq                 // if A == B: pc <- Imm
+	OpJne                 // if A != B: pc <- Imm
+	OpJlt                 // if A <  B: pc <- Imm (unsigned)
+	OpJge                 // if A >= B: pc <- Imm (unsigned)
+	OpCheck               // SandboxReg <- (B + Imm) & maskFor(len(mem)); SFI-inserted
+	opcodeCount
+)
+
+var opcodeNames = [...]string{
+	OpHalt: "halt", OpLoadI: "loadi", OpMov: "mov",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul",
+	OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpShl: "shl", OpShr: "shr", OpAddI: "addi",
+	OpLd8: "ld8", OpLd16: "ld16", OpLd32: "ld32", OpLd64: "ld64",
+	OpSt8: "st8", OpSt16: "st16", OpSt32: "st32", OpSt64: "st64",
+	OpJmp: "jmp", OpJeq: "jeq", OpJne: "jne", OpJlt: "jlt", OpJge: "jge",
+	OpCheck: "check",
+}
+
+// String returns the mnemonic.
+func (o Opcode) String() string {
+	if int(o) < len(opcodeNames) && opcodeNames[o] != "" {
+		return opcodeNames[o]
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// Instr is one PVM instruction.
+type Instr struct {
+	Op  Opcode
+	A   uint8
+	B   uint8
+	C   uint8
+	Imm int64
+}
+
+// String renders the instruction in assembler syntax.
+func (i Instr) String() string {
+	switch i.Op {
+	case OpHalt:
+		return fmt.Sprintf("halt r%d", i.A)
+	case OpLoadI:
+		return fmt.Sprintf("loadi r%d, %d", i.A, i.Imm)
+	case OpMov:
+		return fmt.Sprintf("mov r%d, r%d", i.A, i.B)
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.A, i.B, i.C)
+	case OpAddI:
+		return fmt.Sprintf("addi r%d, r%d, %d", i.A, i.B, i.Imm)
+	case OpLd8, OpLd16, OpLd32, OpLd64:
+		return fmt.Sprintf("%s r%d, [r%d+%d]", i.Op, i.A, i.B, i.Imm)
+	case OpSt8, OpSt16, OpSt32, OpSt64:
+		return fmt.Sprintf("%s [r%d+%d], r%d", i.Op, i.B, i.Imm, i.A)
+	case OpJmp:
+		return fmt.Sprintf("jmp %d", i.Imm)
+	case OpJeq, OpJne, OpJlt, OpJge:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.A, i.B, i.Imm)
+	case OpCheck:
+		return fmt.Sprintf("check r%d+%d", i.B, i.Imm)
+	}
+	return fmt.Sprintf("op%d a=%d b=%d c=%d imm=%d", i.Op, i.A, i.B, i.C, i.Imm)
+}
+
+// Program is a PVM program.
+type Program []Instr
+
+// instrSize is the encoded size of one instruction in bytes.
+const instrSize = 12
+
+const imageMagic = "PVMIMG1\x00"
+
+// ErrBadImage is returned when decoding a malformed image.
+var ErrBadImage = errors.New("sandbox: bad program image")
+
+// Encode serializes the program into a component image — the byte
+// string that certificates digest.
+func (p Program) Encode() []byte {
+	out := make([]byte, 0, len(imageMagic)+4+len(p)*instrSize)
+	out = append(out, imageMagic...)
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(p)))
+	out = append(out, n[:]...)
+	for _, ins := range p {
+		var b [instrSize]byte
+		b[0] = byte(ins.Op)
+		b[1] = ins.A
+		b[2] = ins.B
+		b[3] = ins.C
+		binary.BigEndian.PutUint64(b[4:], uint64(ins.Imm))
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+// Decode parses a component image back into a program.
+func Decode(image []byte) (Program, error) {
+	if len(image) < len(imageMagic)+4 || string(image[:len(imageMagic)]) != imageMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadImage)
+	}
+	rest := image[len(imageMagic):]
+	n := binary.BigEndian.Uint32(rest[:4])
+	rest = rest[4:]
+	if len(rest) != int(n)*instrSize {
+		return nil, fmt.Errorf("%w: length mismatch (%d instructions, %d bytes)", ErrBadImage, n, len(rest))
+	}
+	p := make(Program, n)
+	for i := range p {
+		b := rest[i*instrSize : (i+1)*instrSize]
+		p[i] = Instr{
+			Op:  Opcode(b[0]),
+			A:   b[1],
+			B:   b[2],
+			C:   b[3],
+			Imm: int64(binary.BigEndian.Uint64(b[4:])),
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,136 @@
+package sandbox
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Verification errors.
+var (
+	ErrEmptyProgram = errors.New("sandbox: empty program")
+	ErrReservedReg  = errors.New("sandbox: program uses the reserved sandbox register")
+	ErrNoHalt       = errors.New("sandbox: program has no halt instruction")
+)
+
+// Verify statically checks a source program: known opcodes, in-range
+// registers and jump targets, no use of the reserved sandbox register,
+// and at least one halt. This is the (cheap, structural) part of what
+// a certifying compiler would guarantee; it does NOT make the program
+// memory-safe — that is exactly what either SFI or certification must
+// provide.
+func Verify(p Program) error {
+	if len(p) == 0 {
+		return ErrEmptyProgram
+	}
+	hasHalt := false
+	for pc, ins := range p {
+		if ins.Op >= opcodeCount {
+			return fmt.Errorf("%w: opcode %d at pc=%d", ErrBadInstr, ins.Op, pc)
+		}
+		if ins.Op == OpCheck {
+			// Check instructions are inserted by the rewriter, never
+			// written by component authors.
+			return fmt.Errorf("%w: explicit check at pc=%d", ErrReservedReg, pc)
+		}
+		if int(ins.A) >= NumRegs || int(ins.B) >= NumRegs || int(ins.C) >= NumRegs {
+			return fmt.Errorf("%w: register out of range at pc=%d", ErrBadInstr, pc)
+		}
+		if usesReg(ins, SandboxReg) {
+			return fmt.Errorf("%w: at pc=%d (%v)", ErrReservedReg, pc, ins)
+		}
+		switch ins.Op {
+		case OpJmp, OpJeq, OpJne, OpJlt, OpJge:
+			if ins.Imm < 0 || ins.Imm >= int64(len(p)) {
+				return fmt.Errorf("%w: target %d at pc=%d", ErrBadJump, ins.Imm, pc)
+			}
+		case OpHalt:
+			hasHalt = true
+		}
+	}
+	if !hasHalt {
+		return ErrNoHalt
+	}
+	return nil
+}
+
+func usesReg(ins Instr, r uint8) bool {
+	switch ins.Op {
+	case OpHalt:
+		return ins.A == r
+	case OpLoadI:
+		return ins.A == r
+	case OpMov:
+		return ins.A == r || ins.B == r
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr:
+		return ins.A == r || ins.B == r || ins.C == r
+	case OpAddI:
+		return ins.A == r || ins.B == r
+	case OpLd8, OpLd16, OpLd32, OpLd64, OpSt8, OpSt16, OpSt32, OpSt64:
+		return ins.A == r || ins.B == r
+	case OpJmp:
+		return false
+	case OpJeq, OpJne, OpJlt, OpJge:
+		return ins.A == r || ins.B == r
+	}
+	return false
+}
+
+// Rewrite applies software fault isolation to a verified program: a
+// check instruction is inserted before every load and store, masking
+// the effective address into the segment and placing it in the
+// dedicated sandbox register, which the memory instruction is then
+// rewritten to use. Jump targets are relocated. This reproduces the
+// instruction-level cost structure of Wahbe et al.'s scheme: a few
+// extra ALU operations per memory reference and one reserved register.
+func Rewrite(p Program) (Program, error) {
+	if err := Verify(p); err != nil {
+		return nil, err
+	}
+	// First pass: compute the new index of every old instruction.
+	newIndex := make([]int, len(p)+1)
+	n := 0
+	for i, ins := range p {
+		newIndex[i] = n
+		if isMemOp(ins.Op) {
+			n += 2 // check + rewritten access
+		} else {
+			n++
+		}
+	}
+	newIndex[len(p)] = n
+
+	out := make(Program, 0, n)
+	for _, ins := range p {
+		switch {
+		case isMemOp(ins.Op):
+			out = append(out, Instr{Op: OpCheck, B: ins.B, Imm: ins.Imm})
+			rewritten := ins
+			rewritten.B = SandboxReg
+			rewritten.Imm = 0
+			out = append(out, rewritten)
+		case isJump(ins.Op):
+			relocated := ins
+			relocated.Imm = int64(newIndex[ins.Imm])
+			out = append(out, relocated)
+		default:
+			out = append(out, ins)
+		}
+	}
+	return out, nil
+}
+
+func isMemOp(op Opcode) bool {
+	switch op {
+	case OpLd8, OpLd16, OpLd32, OpLd64, OpSt8, OpSt16, OpSt32, OpSt64:
+		return true
+	}
+	return false
+}
+
+func isJump(op Opcode) bool {
+	switch op {
+	case OpJmp, OpJeq, OpJne, OpJlt, OpJge:
+		return true
+	}
+	return false
+}

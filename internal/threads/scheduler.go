@@ -1,0 +1,203 @@
+package threads
+
+import (
+	"sync"
+
+	"paramecium/internal/clock"
+)
+
+// Scheduler multiplexes simulated threads over the (single) simulated
+// processor, round-robin. It also owns the sleep queue and charges all
+// thread-related costs.
+type Scheduler struct {
+	meter *clock.Meter
+
+	mu       sync.Mutex
+	nextID   uint64
+	runq     []*Thread
+	sleepers []sleeper
+	live     int // spawned or promoted, not yet done
+}
+
+type sleeper struct {
+	t        *Thread
+	deadline uint64
+}
+
+// NewScheduler builds a scheduler charging against meter.
+func NewScheduler(meter *clock.Meter) *Scheduler {
+	return &Scheduler{meter: meter}
+}
+
+// Meter exposes the scheduler's meter (used by the event service).
+func (s *Scheduler) Meter() *clock.Meter { return s.meter }
+
+func (s *Scheduler) newThread(name string, proto bool) *Thread {
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	s.live++
+	s.mu.Unlock()
+	return &Thread{
+		id:        id,
+		name:      name,
+		sched:     s,
+		proto:     proto,
+		resume:    make(chan struct{}, 1),
+		parked:    make(chan struct{}, 1),
+		protoDone: make(chan bool, 1),
+		done:      make(chan struct{}),
+	}
+}
+
+// Spawn creates a real thread that will run fn when scheduled. The
+// full thread-creation cost is charged immediately.
+func (s *Scheduler) Spawn(name string, fn func(*Thread)) *Thread {
+	s.meter.Charge(clock.OpThreadCreate)
+	t := s.newThread(name, false)
+	go func() {
+		<-t.resume
+		t.setState(StateRunning)
+		fn(t)
+		s.finish(t)
+	}()
+	s.mu.Lock()
+	t.setState(StateReady)
+	s.readyLocked(t)
+	s.mu.Unlock()
+	return t
+}
+
+// PopUpEager turns an event into a thread the expensive way: a full
+// thread is created and scheduled for every event (the baseline the
+// proto-thread optimization is measured against).
+func (s *Scheduler) PopUpEager(name string, fn func(*Thread)) *Thread {
+	return s.Spawn(name, fn)
+}
+
+// PopUpProto runs fn as a proto-thread: it executes immediately on the
+// caller's (interrupt) context for the cheap proto-thread cost. If fn
+// runs to completion without blocking, no thread is ever created. The
+// moment fn blocks, yields or sleeps, the proto-thread is promoted to
+// a real thread (promotion + creation costs are charged) and PopUpProto
+// returns while the new thread continues under the scheduler.
+//
+// The returned thread handle reports, via Promoted, which path was
+// taken; ran is true when fn completed inline.
+func (s *Scheduler) PopUpProto(name string, fn func(*Thread)) (t *Thread, ran bool) {
+	s.meter.Charge(clock.OpProtoThread)
+	t = s.newThread(name, true)
+	t.setState(StateRunning)
+	go func() {
+		fn(t)
+		s.finish(t)
+	}()
+	completed := <-t.protoDone
+	return t, completed
+}
+
+// chargePromotion accounts for turning a proto-thread into a real
+// thread. Callers hold s.mu.
+func (s *Scheduler) chargePromotion() {
+	s.meter.Charge(clock.OpPromote)
+	s.meter.Charge(clock.OpThreadCreate)
+}
+
+// finish retires a thread.
+func (s *Scheduler) finish(t *Thread) {
+	s.mu.Lock()
+	t.setState(StateDone)
+	s.live--
+	s.mu.Unlock()
+	close(t.done)
+	t.stop(true)
+}
+
+// readyLocked appends t to the ready queue; the caller holds s.mu.
+func (s *Scheduler) readyLocked(t *Thread) {
+	s.runq = append(s.runq, t)
+}
+
+// Wake moves a blocked thread to the ready queue. Synchronization
+// primitives call it with the scheduler lock held via wakeLocked; the
+// exported form is for event sources living outside this package.
+func (s *Scheduler) Wake(t *Thread) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wakeLocked(t)
+}
+
+func (s *Scheduler) wakeLocked(t *Thread) {
+	t.setState(StateReady)
+	s.readyLocked(t)
+}
+
+// RunUntilIdle dispatches ready threads until none remain. When the
+// ready queue drains but threads are sleeping on the virtual clock,
+// the clock is advanced to the earliest deadline and the sleepers are
+// woken. It returns the number of dispatches performed.
+func (s *Scheduler) RunUntilIdle() int {
+	dispatches := 0
+	for {
+		t := s.next()
+		if t == nil {
+			return dispatches
+		}
+		dispatches++
+		s.meter.Charge(clock.OpSchedule)
+		t.resume <- struct{}{}
+		<-t.parked // until the thread stops running again
+	}
+}
+
+// next pops the next ready thread, advancing virtual time over sleep
+// gaps when necessary. It returns nil when the system is idle.
+func (s *Scheduler) next() *Thread {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if len(s.runq) > 0 {
+			t := s.runq[0]
+			s.runq = s.runq[1:]
+			return t
+		}
+		if len(s.sleepers) == 0 {
+			return nil
+		}
+		// Advance the clock to the earliest deadline and wake the due.
+		earliest := s.sleepers[0].deadline
+		for _, sl := range s.sleepers[1:] {
+			if sl.deadline < earliest {
+				earliest = sl.deadline
+			}
+		}
+		now := s.meter.Clock.Now()
+		if earliest > now {
+			s.meter.Clock.Advance(earliest - now)
+		}
+		now = s.meter.Clock.Now()
+		var rest []sleeper
+		for _, sl := range s.sleepers {
+			if sl.deadline <= now {
+				s.wakeLocked(sl.t)
+			} else {
+				rest = append(rest, sl)
+			}
+		}
+		s.sleepers = rest
+	}
+}
+
+// ReadyCount reports the number of threads waiting to run.
+func (s *Scheduler) ReadyCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.runq)
+}
+
+// LiveCount reports spawned/promoted threads that have not finished.
+func (s *Scheduler) LiveCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live
+}

@@ -1,0 +1,273 @@
+package threads
+
+import "errors"
+
+// Synchronization errors.
+var (
+	ErrNotOwner  = errors.New("threads: caller does not hold the mutex")
+	ErrQueueSize = errors.New("threads: queue capacity must be positive")
+)
+
+// Mutex is a blocking mutual-exclusion lock for simulated threads.
+// Unlock hands the lock directly to the oldest waiter, so the lock is
+// fair and a woken thread never loses a race for it.
+type Mutex struct {
+	s       *Scheduler
+	held    bool
+	owner   *Thread
+	waiters []*Thread
+}
+
+// NewMutex builds a mutex managed by s.
+func NewMutex(s *Scheduler) *Mutex {
+	return &Mutex{s: s}
+}
+
+// Lock acquires the mutex, blocking the thread if it is held. A
+// proto-thread that must block is promoted.
+func (m *Mutex) Lock(t *Thread) {
+	s := m.s
+	s.mu.Lock()
+	if !m.held {
+		m.held = true
+		m.owner = t
+		s.mu.Unlock()
+		return
+	}
+	t.blockLocked(func() {
+		m.waiters = append(m.waiters, t)
+	})
+}
+
+// TryLock acquires the mutex without blocking; it reports success.
+func (m *Mutex) TryLock(t *Thread) bool {
+	s := m.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m.held {
+		return false
+	}
+	m.held = true
+	m.owner = t
+	return true
+}
+
+// Unlock releases the mutex, handing it to the oldest waiter if any.
+func (m *Mutex) Unlock(t *Thread) error {
+	s := m.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return m.unlockLocked(t)
+}
+
+func (m *Mutex) unlockLocked(t *Thread) error {
+	if !m.held || m.owner != t {
+		return ErrNotOwner
+	}
+	if len(m.waiters) > 0 {
+		next := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		m.owner = next // direct handoff; stays held
+		m.s.wakeLocked(next)
+		return nil
+	}
+	m.held = false
+	m.owner = nil
+	return nil
+}
+
+// Holder reports the current owner (nil if free). For tests.
+func (m *Mutex) Holder() *Thread {
+	m.s.mu.Lock()
+	defer m.s.mu.Unlock()
+	return m.owner
+}
+
+// Cond is a condition variable tied to a Mutex.
+type Cond struct {
+	m       *Mutex
+	waiters []*Thread
+}
+
+// NewCond builds a condition variable over m.
+func NewCond(m *Mutex) *Cond {
+	return &Cond{m: m}
+}
+
+// Wait atomically releases the mutex and blocks until the thread is
+// signalled, then reacquires the mutex before returning.
+func (c *Cond) Wait(t *Thread) error {
+	s := c.m.s
+	s.mu.Lock()
+	if !c.m.held || c.m.owner != t {
+		s.mu.Unlock()
+		return ErrNotOwner
+	}
+	if err := c.m.unlockLocked(t); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	t.blockLocked(func() {
+		c.waiters = append(c.waiters, t)
+	})
+	c.m.Lock(t)
+	return nil
+}
+
+// Signal wakes the oldest waiter, if any. The caller should hold the
+// mutex but this is not enforced (as with sync.Cond).
+func (c *Cond) Signal() {
+	s := c.m.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(c.waiters) == 0 {
+		return
+	}
+	t := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	s.wakeLocked(t)
+}
+
+// Broadcast wakes every waiter.
+func (c *Cond) Broadcast() {
+	s := c.m.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range c.waiters {
+		s.wakeLocked(t)
+	}
+	c.waiters = nil
+}
+
+// Semaphore is a counting semaphore.
+type Semaphore struct {
+	s       *Scheduler
+	count   int
+	waiters []*Thread
+}
+
+// NewSemaphore builds a semaphore with the given initial count.
+func NewSemaphore(s *Scheduler, initial int) *Semaphore {
+	return &Semaphore{s: s, count: initial}
+}
+
+// P (down) decrements the semaphore, blocking while it is zero.
+func (sem *Semaphore) P(t *Thread) {
+	s := sem.s
+	s.mu.Lock()
+	if sem.count > 0 {
+		sem.count--
+		s.mu.Unlock()
+		return
+	}
+	t.blockLocked(func() {
+		sem.waiters = append(sem.waiters, t)
+	})
+}
+
+// V (up) increments the semaphore, waking one waiter if any. The count
+// is transferred directly to the woken thread.
+func (sem *Semaphore) V() {
+	s := sem.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(sem.waiters) > 0 {
+		t := sem.waiters[0]
+		sem.waiters = sem.waiters[1:]
+		s.wakeLocked(t)
+		return
+	}
+	sem.count++
+}
+
+// Count reports the current count (waiters imply zero).
+func (sem *Semaphore) Count() int {
+	sem.s.mu.Lock()
+	defer sem.s.mu.Unlock()
+	return sem.count
+}
+
+// Queue is a bounded blocking FIFO of arbitrary items — the mailbox
+// primitive used by the active-message example.
+type Queue struct {
+	s     *Scheduler
+	cap   int
+	items []any
+	nf    []*Thread // waiting for not-full
+	ne    []*Thread // waiting for not-empty
+}
+
+// NewQueue builds a queue of the given capacity.
+func NewQueue(s *Scheduler, capacity int) (*Queue, error) {
+	if capacity <= 0 {
+		return nil, ErrQueueSize
+	}
+	return &Queue{s: s, cap: capacity}, nil
+}
+
+// Push appends an item, blocking while the queue is full.
+func (q *Queue) Push(t *Thread, item any) {
+	s := q.s
+	for {
+		s.mu.Lock()
+		if len(q.items) < q.cap {
+			q.items = append(q.items, item)
+			if len(q.ne) > 0 {
+				w := q.ne[0]
+				q.ne = q.ne[1:]
+				s.wakeLocked(w)
+			}
+			s.mu.Unlock()
+			return
+		}
+		t.blockLocked(func() {
+			q.nf = append(q.nf, t)
+		})
+	}
+}
+
+// TryPush appends without blocking; it reports success.
+func (q *Queue) TryPush(item any) bool {
+	s := q.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(q.items) >= q.cap {
+		return false
+	}
+	q.items = append(q.items, item)
+	if len(q.ne) > 0 {
+		w := q.ne[0]
+		q.ne = q.ne[1:]
+		s.wakeLocked(w)
+	}
+	return true
+}
+
+// Pop removes the oldest item, blocking while the queue is empty.
+func (q *Queue) Pop(t *Thread) any {
+	s := q.s
+	for {
+		s.mu.Lock()
+		if len(q.items) > 0 {
+			item := q.items[0]
+			q.items = q.items[1:]
+			if len(q.nf) > 0 {
+				w := q.nf[0]
+				q.nf = q.nf[1:]
+				s.wakeLocked(w)
+			}
+			s.mu.Unlock()
+			return item
+		}
+		t.blockLocked(func() {
+			q.ne = append(q.ne, t)
+		})
+	}
+}
+
+// Len reports the number of queued items.
+func (q *Queue) Len() int {
+	q.s.mu.Lock()
+	defer q.s.mu.Unlock()
+	return len(q.items)
+}

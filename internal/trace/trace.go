@@ -1,0 +1,215 @@
+// Package trace builds the paper's "powerful monitoring tools" out of
+// interposing agents: wrap any instance registered in the name space
+// with a Tracer and every method call is counted and timed in virtual
+// cycles, without the target or its clients changing at all.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"paramecium/internal/clock"
+	"paramecium/internal/obj"
+)
+
+// MethodStats aggregates one method's observations.
+type MethodStats struct {
+	Calls  uint64
+	Errors uint64
+	Cycles uint64 // total virtual cycles inside the target
+	Hist   Histogram
+}
+
+// Tracer is a measurement interposer. Install it by replacing the
+// target's handle in the name space:
+//
+//	tr := trace.NewTracer(target, meter)
+//	space.Replace("/shared/network", tr.Agent())
+type Tracer struct {
+	agent *obj.Interposer
+	meter *clock.Meter
+
+	mu    sync.Mutex
+	stats map[string]*MethodStats // "iface.method"
+}
+
+// NewTracer wraps target, instrumenting every method of every
+// exported interface.
+func NewTracer(target obj.Instance, meter *clock.Meter) (*Tracer, error) {
+	t := &Tracer{
+		agent: obj.NewInterposer(target.Class()+"-tracer", target),
+		meter: meter,
+		stats: make(map[string]*MethodStats),
+	}
+	for _, ifaceName := range target.InterfaceNames() {
+		iv, ok := target.Iface(ifaceName)
+		if !ok {
+			continue
+		}
+		for _, m := range iv.Decl().Methods {
+			keyName := ifaceName + "." + m.Name
+			if err := t.agent.Wrap(ifaceName, m.Name, func(next obj.Method, args ...any) ([]any, error) {
+				var watch clock.Stopwatch
+				if t.meter != nil {
+					watch = t.meter.Clock.StartWatch()
+				}
+				res, err := next(args...)
+				var elapsed uint64
+				if t.meter != nil {
+					elapsed = watch.Elapsed()
+				}
+				t.record(keyName, elapsed, err)
+				return res, err
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// Agent returns the interposing instance to register in the name
+// space.
+func (t *Tracer) Agent() *obj.Interposer { return t.agent }
+
+func (t *Tracer) record(key string, cycles uint64, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.stats[key]
+	if st == nil {
+		st = &MethodStats{}
+		t.stats[key] = st
+	}
+	st.Calls++
+	st.Cycles += cycles
+	st.Hist.Add(cycles)
+	if err != nil {
+		st.Errors++
+	}
+}
+
+// Stats returns the aggregated stats of one method ("iface.method").
+func (t *Tracer) Stats(key string) (MethodStats, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.stats[key]
+	if !ok {
+		return MethodStats{}, false
+	}
+	return *st, true
+}
+
+// Keys lists observed methods, sorted.
+func (t *Tracer) Keys() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.stats))
+	for k := range t.stats {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Report renders a human-readable summary table.
+func (t *Tracer) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-40s %10s %8s %14s %10s\n", "method", "calls", "errors", "cycles", "avg")
+	for _, k := range t.Keys() {
+		st, _ := t.Stats(k)
+		avg := uint64(0)
+		if st.Calls > 0 {
+			avg = st.Cycles / st.Calls
+		}
+		fmt.Fprintf(&b, "%-40s %10d %8d %14d %10d\n", k, st.Calls, st.Errors, st.Cycles, avg)
+	}
+	return b.String()
+}
+
+// Reset clears all recorded observations.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	clear(t.stats)
+}
+
+// HistBuckets is the number of power-of-two histogram buckets.
+const HistBuckets = 32
+
+// Histogram is a power-of-two bucketed latency histogram: bucket i
+// counts observations in [2^i, 2^(i+1)) cycles, with bucket 0 also
+// holding zeros.
+type Histogram struct {
+	Buckets [HistBuckets]uint64
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v uint64) {
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Buckets[bucketOf(v)]++
+}
+
+func bucketOf(v uint64) int {
+	b := 0
+	for v > 1 && b < HistBuckets-1 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+// Mean returns the average observation.
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Percentile returns an upper bound for the p-th percentile
+// (0 < p <= 100) from the bucket boundaries.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.Count == 0 || p <= 0 {
+		return 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	target := uint64(float64(h.Count) * p / 100)
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Buckets {
+		cum += c
+		if cum >= target {
+			if i == HistBuckets-1 {
+				return h.Max
+			}
+			return 1 << uint(i+1) // upper bound of the bucket
+		}
+	}
+	return h.Max
+}
+
+// String renders the non-empty buckets.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "count=%d mean=%.1f max=%d", h.Count, h.Mean(), h.Max)
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, " [2^%d:%d]", i, c)
+	}
+	return b.String()
+}

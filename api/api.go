@@ -1,0 +1,98 @@
+// Package api declares the types of Paramecium's public embedding
+// surface: the object architecture of the paper — objects exporting
+// named interfaces of "methods, state pointers and type information" —
+// as seen by programs that embed the kernel.
+//
+// The package contains declarations only. Booting a system, creating
+// objects and binding names is done through the root paramecium
+// package; everything returned from there is expressed in these types.
+package api
+
+import "paramecium/internal/obj"
+
+// Method is a late-bound method implementation. Arguments and results
+// are dynamically typed; the interface declaration carries the arity
+// used for call validation, mirroring the paper's "type information".
+type Method = obj.Method
+
+// MethodDecl declares one method of an interface: its name, arity and
+// (once part of an InterfaceDecl) its dispatch slot.
+type MethodDecl = obj.MethodDecl
+
+// InterfaceDecl is the type information of a named interface. Decls
+// are immutable after construction and may be shared between many
+// objects.
+type InterfaceDecl = obj.InterfaceDecl
+
+// Invoker is the universal calling surface of a bound interface.
+// Objects, interposers and cross-domain proxies all satisfy it. The
+// hot path is Resolve once, Call many times; Invoke is the string
+// compatibility path.
+type Invoker = obj.Invoker
+
+// MethodHandle is a pre-resolved method binding whose Call dispatches
+// by slot index with no per-call name lookup or lock.
+type MethodHandle = obj.MethodHandle
+
+// Instance is anything that can be registered in, and bound from, the
+// name space: an object, a composition, an interposing agent or a
+// proxy for an object in another protection domain.
+type Instance = obj.Instance
+
+// Object is a concrete component instance: methods plus instance
+// data, exporting one or more named interfaces. Create one with
+// System.NewObject so it is wired to the system's cycle meter.
+type Object = obj.Object
+
+// BoundInterface is an interface exported by a concrete object; bind
+// method implementations to it with Bind or MustBind.
+type BoundInterface = obj.BoundInterface
+
+// Composition is an object composed of other object instances,
+// exporting interfaces (typically re-exported from its children) like
+// any object.
+type Composition = obj.Composition
+
+// Interposer is an interposing agent: it exports a superset of the
+// original object's interfaces, reimplements the methods it sees fit
+// and forwards the others.
+type Interposer = obj.Interposer
+
+// WrapFunc reimplements one method of an interposed interface; next
+// invokes the original implementation.
+type WrapFunc = obj.WrapFunc
+
+// Errors shared by every Invoker implementation.
+var (
+	// ErrNoInterface reports an interface name the instance does not
+	// export.
+	ErrNoInterface = obj.ErrNoInterface
+	// ErrNoMethod reports a method name the interface does not
+	// declare. Both Invoke and Resolve return it.
+	ErrNoMethod = obj.ErrNoMethod
+	// ErrUnbound reports a declared method with no implementation
+	// bound yet.
+	ErrUnbound = obj.ErrUnbound
+	// ErrArity reports an argument or result list whose length
+	// contradicts the method's type information.
+	ErrArity = obj.ErrArity
+)
+
+// NewInterfaceDecl builds an interface declaration, assigning each
+// method a dispatch slot. Method names must be unique.
+func NewInterfaceDecl(name string, methods ...MethodDecl) (*InterfaceDecl, error) {
+	return obj.NewInterfaceDecl(name, methods...)
+}
+
+// MustInterfaceDecl is NewInterfaceDecl that panics on error; intended
+// for package-level declarations of well-known interfaces.
+func MustInterfaceDecl(name string, methods ...MethodDecl) *InterfaceDecl {
+	return obj.MustInterfaceDecl(name, methods...)
+}
+
+// NewMethodHandle builds a handle from a declaration and a dispatch
+// function, for custom Invoker implementations that supply their own
+// dispatch path.
+func NewMethodHandle(decl *MethodDecl, dispatch Method) MethodHandle {
+	return obj.NewMethodHandle(decl, dispatch)
+}

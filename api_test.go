@@ -1,0 +1,259 @@
+// Tests and runnable examples for the public embedding API. This file
+// imports only the paramecium and paramecium/api packages, so it
+// doubles as proof that the public surface is self-sufficient.
+package paramecium_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"paramecium"
+	"paramecium/api"
+)
+
+// ExampleBoot boots a system, defines a component as an object with a
+// named interface, registers it in the name space, and calls it from
+// an application domain across the protection boundary.
+func ExampleBoot() {
+	sys, err := paramecium.Boot()
+	if err != nil {
+		panic(err)
+	}
+	decl := api.MustInterfaceDecl("example.adder.v1",
+		api.MethodDecl{Name: "add", NumIn: 2, NumOut: 1})
+	adder := sys.NewObject("adder")
+	bi, err := adder.AddInterface(decl, nil)
+	if err != nil {
+		panic(err)
+	}
+	bi.MustBind("add", func(args ...any) ([]any, error) {
+		return []any{args[0].(int) + args[1].(int)}, nil
+	})
+	if err := sys.Register("/services/adder", adder); err != nil {
+		panic(err)
+	}
+
+	app := sys.NewDomain("app")
+	h, err := app.Bind("/services/adder")
+	if err != nil {
+		panic(err)
+	}
+	res, err := h.Invoke("example.adder.v1", "add", 2, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("2 + 3 =", res[0])
+	// Output: 2 + 3 = 5
+}
+
+// ExampleHandle_Resolve shows the bind-once / invoke-many fast path:
+// a method is resolved to a handle once, then called repeatedly with
+// no per-call name lookup. The handle tracks the slot, so rebinding
+// the method later is still observed — late binding is preserved.
+func ExampleHandle_Resolve() {
+	sys, err := paramecium.Boot()
+	if err != nil {
+		panic(err)
+	}
+	decl := api.MustInterfaceDecl("example.counter.v1",
+		api.MethodDecl{Name: "inc", NumIn: 0, NumOut: 1})
+	counter := sys.NewObject("counter")
+	n := 0
+	bi, err := counter.AddInterface(decl, &n)
+	if err != nil {
+		panic(err)
+	}
+	bi.MustBind("inc", func(...any) ([]any, error) { n++; return []any{n}, nil })
+	if err := sys.Register("/services/counter", counter); err != nil {
+		panic(err)
+	}
+
+	h, err := sys.Bind("/services/counter")
+	if err != nil {
+		panic(err)
+	}
+	inc, err := h.Resolve("example.counter.v1", "inc")
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := inc.Call(); err != nil {
+			panic(err)
+		}
+	}
+	res, _ := inc.Call()
+	fmt.Println("count =", res[0])
+
+	// Rebind the slot; the live handle sees the new implementation.
+	bi.MustBind("inc", func(...any) ([]any, error) { return []any{-1}, nil })
+	res, _ = inc.Call()
+	fmt.Println("after rebind =", res[0])
+	// Output:
+	// count = 4
+	// after rebind = -1
+}
+
+// errOf normalizes an ([]any, error) pair to its error.
+func errOf(_ []any, err error) error { return err }
+
+// TestInvokeHandleErrorAgreement is the regression contract between
+// the string-keyed compatibility path and the pre-resolved handle
+// path: both must report the same sentinel errors for undeclared
+// methods, unbound slots, wrong argument arity, and wrong result
+// arity.
+func TestInvokeHandleErrorAgreement(t *testing.T) {
+	sys, err := paramecium.Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decl := api.MustInterfaceDecl("test.v1",
+		api.MethodDecl{Name: "ok", NumIn: 1, NumOut: 1},
+		api.MethodDecl{Name: "unbound", NumIn: 0, NumOut: 0},
+		api.MethodDecl{Name: "liar", NumIn: 0, NumOut: 2},
+	)
+	o := sys.NewObject("probe")
+	bi, err := o.AddInterface(decl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi.MustBind("ok", func(args ...any) ([]any, error) { return []any{args[0]}, nil }).
+		MustBind("liar", func(...any) ([]any, error) { return []any{1}, nil }) // declares 2 results, returns 1
+	iv, ok := o.Iface("test.v1")
+	if !ok {
+		t.Fatal("interface lost")
+	}
+
+	// ErrNoMethod: Invoke fails per call, Resolve fails at bind time.
+	if err := errOf(iv.Invoke("nope")); !errors.Is(err, api.ErrNoMethod) {
+		t.Fatalf("Invoke undeclared = %v, want ErrNoMethod", err)
+	}
+	if _, err := iv.Resolve("nope"); !errors.Is(err, api.ErrNoMethod) {
+		t.Fatalf("Resolve undeclared = %v, want ErrNoMethod", err)
+	}
+
+	// The remaining errors must match call-for-call.
+	cases := []struct {
+		name   string
+		method string
+		args   []any
+		want   error
+	}{
+		{"unbound slot", "unbound", nil, api.ErrUnbound},
+		{"too few args", "ok", nil, api.ErrArity},
+		{"too many args", "ok", []any{1, 2}, api.ErrArity},
+		{"wrong result count", "liar", nil, api.ErrArity},
+	}
+	for _, tc := range cases {
+		invokeErr := errOf(iv.Invoke(tc.method, tc.args...))
+		h, err := iv.Resolve(tc.method)
+		if err != nil {
+			t.Fatalf("%s: Resolve = %v", tc.name, err)
+		}
+		callErr := errOf(h.Call(tc.args...))
+		if !errors.Is(invokeErr, tc.want) {
+			t.Errorf("%s: Invoke = %v, want %v", tc.name, invokeErr, tc.want)
+		}
+		if !errors.Is(callErr, tc.want) {
+			t.Errorf("%s: handle Call = %v, want %v", tc.name, callErr, tc.want)
+		}
+		if (invokeErr == nil) != (callErr == nil) {
+			t.Errorf("%s: paths disagree: Invoke=%v Call=%v", tc.name, invokeErr, callErr)
+		}
+	}
+}
+
+// TestHandleAgreementAcrossProxy re-runs the error contract through a
+// cross-domain proxy: the fault-driven path must classify errors
+// exactly like a local bound interface.
+func TestHandleAgreementAcrossProxy(t *testing.T) {
+	sys, err := paramecium.Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decl := api.MustInterfaceDecl("test.v1",
+		api.MethodDecl{Name: "echo", NumIn: 1, NumOut: 1})
+	o := sys.NewObject("echo")
+	bi, err := o.AddInterface(decl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi.MustBind("echo", func(args ...any) ([]any, error) { return []any{args[0]}, nil })
+
+	home := sys.NewDomain("home")
+	if err := home.Register("/services/echo", o); err != nil {
+		t.Fatal(err)
+	}
+	client := sys.NewDomain("client")
+	h, err := client.Bind("/services/echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := h.Resolve("test.v1", "nope"); !errors.Is(err, api.ErrNoMethod) {
+		t.Fatalf("proxy Resolve undeclared = %v, want ErrNoMethod", err)
+	}
+	echo, err := h.Resolve("test.v1", "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := errOf(echo.Call()); !errors.Is(err, api.ErrArity) {
+		t.Fatalf("proxy handle bad arity = %v, want ErrArity", err)
+	}
+	iv, err := h.Interface("test.v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := errOf(iv.Invoke("echo")); !errors.Is(err, api.ErrArity) {
+		t.Fatalf("proxy Invoke bad arity = %v, want ErrArity", err)
+	}
+	res, err := echo.Call("ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != "ping" {
+		t.Fatalf("proxy handle call = %v", res)
+	}
+	if err := client.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOptions exercises the functional boot options.
+func TestOptions(t *testing.T) {
+	costs := paramecium.DefaultCosts()
+	sys, err := paramecium.Boot(
+		paramecium.WithAuthority(nil),
+		paramecium.WithMachine(paramecium.MachineConfig{PhysFrames: 32, Costs: &costs}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Cycles() != 0 {
+		t.Fatalf("fresh system clock = %d", sys.Cycles())
+	}
+	o := sys.NewObject("x")
+	decl := api.MustInterfaceDecl("x.v1", api.MethodDecl{Name: "f", NumIn: 0, NumOut: 0})
+	bi, err := o.AddInterface(decl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi.MustBind("f", func(...any) ([]any, error) { return nil, nil })
+	if err := sys.Register("/services/x", o); err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Bind("/services/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := h.Resolve("x.v1", "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Call(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Cycles() == 0 {
+		t.Fatal("invocation charged no cycles")
+	}
+}

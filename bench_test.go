@@ -40,17 +40,68 @@ func BenchmarkT1_Invocation(b *testing.B) {
 	}
 	bi.MustBind("inc", func(...any) ([]any, error) { n++; return []any{n}, nil })
 	iv, _ := o.Iface("bench.counter.v1")
+	inc, err := iv.Resolve("inc")
+	if err != nil {
+		b.Fatal(err)
+	}
 
 	watch := w.K.Meter.Clock.StartWatch()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := iv.Invoke("inc"); err != nil {
+		if _, err := inc.Call(); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.StopTimer()
 	reportCycles(b, watch.Elapsed())
 	logTable(b, bench.T1Invocation())
+}
+
+// newBenchCounter builds a meterless counter object so the Invoke-vs-
+// handle pair below measures host-machine dispatch cost only.
+func newBenchCounter(b *testing.B) obj.Invoker {
+	b.Helper()
+	decl := obj.MustInterfaceDecl("bench.counter.v1", obj.MethodDecl{Name: "inc", NumIn: 0, NumOut: 1})
+	o := obj.New("counter", nil)
+	n := 0
+	bi, err := o.AddInterface(decl, &n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bi.MustBind("inc", func(...any) ([]any, error) { n++; return []any{n}, nil })
+	iv, _ := o.Iface("bench.counter.v1")
+	return iv
+}
+
+// BenchmarkInvokeString and BenchmarkInvokeHandle are the invocation
+// microbenchmark pair for the pre-resolved handle redesign: the same
+// bound method called through the string-keyed compatibility path
+// (name lookup per call) and through a handle resolved once (slot
+// dispatch, no map lookup or lock on the call path).
+func BenchmarkInvokeString(b *testing.B) {
+	iv := newBenchCounter(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := iv.Invoke("inc"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInvokeHandle(b *testing.B) {
+	iv := newBenchCounter(b)
+	inc, err := iv.Resolve("inc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inc.Call(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func BenchmarkT2_CrossDomain(b *testing.B) {
@@ -67,7 +118,7 @@ func BenchmarkT2_CrossDomain(b *testing.B) {
 	if err := w.K.Register("/services/echo", server, serverDom.Ctx); err != nil {
 		b.Fatal(err)
 	}
-	remote, err := clientDom.BindInterface("/services/echo", "bench.echo.v1")
+	echo, err := clientDom.ResolveMethod("/services/echo", "bench.echo.v1", "echo")
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -76,7 +127,7 @@ func BenchmarkT2_CrossDomain(b *testing.B) {
 	watch := w.K.Meter.Clock.StartWatch()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := remote.Invoke("echo", arg); err != nil {
+		if _, err := echo.Call(arg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -277,14 +328,14 @@ func BenchmarkF5_TrapCostSweep(b *testing.B) {
 	if err := w.K.Register("/services/noop", server, serverDom.Ctx); err != nil {
 		b.Fatal(err)
 	}
-	iv, err := clientDom.BindInterface("/services/noop", "bench.noop.v1")
+	noop, err := clientDom.ResolveMethod("/services/noop", "bench.noop.v1", "noop")
 	if err != nil {
 		b.Fatal(err)
 	}
 	watch := w.K.Meter.Clock.StartWatch()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := iv.Invoke("noop"); err != nil {
+		if _, err := noop.Call(); err != nil {
 			b.Fatal(err)
 		}
 	}

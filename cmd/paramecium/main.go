@@ -29,6 +29,10 @@ import (
 func main() {
 	packets := flag.Int("packets", 200, "packets to inject per placement")
 	flag.Parse()
+	if *packets < 1 {
+		log.SetFlags(0)
+		log.Fatal("paramecium: -packets must be at least 1")
+	}
 	if err := run(*packets); err != nil {
 		log.SetFlags(0)
 		log.Fatalf("paramecium: %v", err)
@@ -123,8 +127,9 @@ func run(packets int) error {
 	}
 
 	// Applications late-bind the shared stack through the name space,
-	// so they transparently go through the monitoring agent.
-	stackIv, err := k.RootView.BindInterface("/shared/network", netstack.StackIface)
+	// so they transparently go through the monitoring agent. The pump
+	// method is resolved once; the packet loop dispatches by slot.
+	pump, err := k.RootView.ResolveMethod("/shared/network", netstack.StackIface, "pump")
 	if err != nil {
 		return err
 	}
@@ -151,7 +156,7 @@ func run(packets int) error {
 			if err := nic.Inject(frame); err != nil {
 				return err
 			}
-			if _, err := stackIv.Invoke("pump"); err != nil {
+			if _, err := pump.Call(); err != nil {
 				return err
 			}
 		}

@@ -1,18 +1,34 @@
 // Package paramecium is a reproduction, in Go, of "Paramecium: an
 // extensible object-based kernel" (van Doorn, Homburg, Tanenbaum;
-// HotOS-V, 1995).
+// HotOS-V, 1995), with a public embedding API over it.
+//
+// The public surface is this package plus paramecium/api. Boot
+// assembles a System — the nucleus, the simulated machine and the
+// root of the hierarchical name space — configured by functional
+// options (WithAuthority, WithMachine). Components are objects
+// exporting named interfaces ("methods, state pointers and type
+// information", api.InterfaceDecl); they are registered under paths
+// and late-bound by name from protection Domains, which receive
+// Handles — over the object itself in-domain, over a page-fault
+// driven proxy across domains.
+//
+// Invocation follows the bind-once/invoke-many pattern the paper's
+// late binding implies: Handle.Resolve (or api.Invoker.Resolve)
+// pre-binds a method to an api.MethodHandle that dispatches by slot
+// index, with no per-call name lookup or lock; the string-keyed
+// Invoke remains as a compatibility path. Both validate argument and
+// result arity against the interface's type information.
 //
 // The implementation lives under internal/: the simulated machine
 // (hw, mmu, clock), the object architecture (obj), the name space
-// (names), the four nucleus services (event, mem, names, cert wired
-// together by core), the thread package with proto-thread pop-up
-// threads (threads), cross-domain proxies (proxy), the PVM bytecode
-// with its SFI rewriter (sandbox), drivers and a protocol stack
-// (drivers, netstack), a virtual-memory extension (vmm), the
-// component repository (repoz), the monolithic-kernel baseline
-// (baseline), monitoring tools (trace) and the experiment harness
-// (bench).
+// (names), the nucleus services wired together by core, the thread
+// package with proto-thread pop-up threads (threads), cross-domain
+// proxies (proxy), the PVM bytecode with its SFI rewriter (sandbox),
+// drivers and a protocol stack (drivers, netstack), a virtual-memory
+// extension (vmm), the component repository (repoz), the
+// monolithic-kernel baseline (baseline), monitoring tools (trace) and
+// the experiment harness (bench).
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// experiment index, and EXPERIMENTS.md for results.
+// See README.md for a package tour and a quickstart that uses only
+// the public API.
 package paramecium

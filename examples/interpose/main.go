@@ -52,8 +52,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// A client binds before interposition...
-	early, err := k.RootView.BindInterface("/services/rpc", "example.rpc.v1")
+	// A client binds before interposition, pre-resolving the method:
+	// bind once, call many times.
+	early, err := k.RootView.ResolveMethod("/services/rpc", "example.rpc.v1", "call")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,24 +75,24 @@ func main() {
 	}
 	fmt.Println("interposed tracer on /services/rpc")
 
-	late, err := k.RootView.BindInterface("/services/rpc", "example.rpc.v1")
+	late, err := k.RootView.ResolveMethod("/services/rpc", "example.rpc.v1", "call")
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	for i := 1; i <= 5; i++ {
-		if _, err := late.Invoke("call", "square", i); err != nil {
+		if _, err := late.Call("square", i); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if _, err := late.Invoke("call", "negate", 9); err != nil {
+	if _, err := late.Call("negate", 9); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := late.Invoke("call", "missing", 0); err != nil {
+	if _, err := late.Call("missing", 0); err != nil {
 		fmt.Printf("observed failure through tracer: %v\n", err)
 	}
-	// The early binding bypasses the agent — its calls are invisible.
-	if _, err := early.Invoke("call", "square", 100); err != nil {
+	// The early handle bypasses the agent — its calls are invisible.
+	if _, err := early.Call("square", 100); err != nil {
 		log.Fatal(err)
 	}
 

@@ -1,17 +1,16 @@
-// Quickstart: boot a Paramecium kernel, define a component as an
-// object with a named interface, register it in the hierarchical name
-// space, late-bind it from an application domain (getting a proxy),
-// and call it across the protection boundary.
+// Quickstart: embed a Paramecium kernel through the public API only.
+// Boot a system, define a component as an object with a named
+// interface, register it in the hierarchical name space, late-bind it
+// from an application domain (getting a proxy), pre-resolve method
+// handles, and call across the protection boundary.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"paramecium/internal/cert"
-	"paramecium/internal/core"
-	"paramecium/internal/mmu"
-	"paramecium/internal/obj"
+	"paramecium"
+	"paramecium/api"
 )
 
 func main() {
@@ -19,20 +18,20 @@ func main() {
 
 	// 1. Boot: the nucleus is a static composition of the four
 	// services (events, memory, directory, certification).
-	auth := cert.NewAuthority(1)
-	k, err := core.Boot(core.Config{AuthorityKey: auth.PublicKey()})
+	sys, err := paramecium.Boot()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("booted; nucleus children:", k.Nucleus.Roles())
+	fmt.Println("booted")
 
 	// 2. A component is an object exporting a *named* interface: a
-	// set of methods, a state pointer and type information.
-	greetDecl := obj.MustInterfaceDecl("example.greeter.v1",
-		obj.MethodDecl{Name: "greet", NumIn: 1, NumOut: 1},
-		obj.MethodDecl{Name: "count", NumIn: 0, NumOut: 1},
+	// set of methods, a state pointer and type information. Each
+	// method gets a dispatch slot at declaration time.
+	greetDecl := api.MustInterfaceDecl("example.greeter.v1",
+		api.MethodDecl{Name: "greet", NumIn: 1, NumOut: 1},
+		api.MethodDecl{Name: "count", NumIn: 0, NumOut: 1},
 	)
-	greeter := obj.New("greeter", k.Meter)
+	greeter := sys.NewObject("greeter")
 	greeted := 0
 	bi, err := greeter.AddInterface(greetDecl, &greeted)
 	if err != nil {
@@ -47,7 +46,7 @@ func main() {
 
 	// 3. Register the instance under an instance name. The greeter
 	// lives in the kernel protection domain here.
-	if err := k.Register("/services/greeter", greeter, mmu.KernelContext); err != nil {
+	if err := sys.Register("/services/greeter", greeter); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("registered /services/greeter")
@@ -56,22 +55,31 @@ func main() {
 	// greeter lives in another protection domain, the directory
 	// service hands the application a *proxy*: same interfaces, but
 	// every call page-faults into the kernel, which switches domains
-	// and invokes the real method.
-	app := k.NewDomain("app")
-	iv, err := app.BindInterface("/services/greeter", "example.greeter.v1")
+	// and invokes the real method. Bind once, resolve the methods
+	// once, call many times — no per-call name lookup.
+	app := sys.NewDomain("app")
+	h, err := app.Bind("/services/greeter")
+	if err != nil {
+		log.Fatal(err)
+	}
+	greet, err := h.Resolve("example.greeter.v1", "greet")
+	if err != nil {
+		log.Fatal(err)
+	}
+	count, err := h.Resolve("example.greeter.v1", "count")
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	before := k.Meter.Clock.Now()
-	res, err := iv.Invoke("greet", "world")
+	before := sys.Cycles()
+	res, err := greet.Call("world")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("cross-domain call returned %q (%d virtual cycles)\n",
-		res[0], k.Meter.Clock.Now()-before)
+		res[0], sys.Cycles()-before)
 
-	res, err = iv.Invoke("count")
+	res, err = count.Call()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,7 +87,7 @@ func main() {
 
 	// 5. The same name resolves differently per domain: a test domain
 	// overrides the greeter with a mock, without anyone else noticing.
-	mock := obj.New("mock-greeter", k.Meter)
+	mock := sys.NewObject("mock-greeter")
 	mbi, err := mock.AddInterface(greetDecl, nil)
 	if err != nil {
 		log.Fatal(err)
@@ -88,22 +96,23 @@ func main() {
 		return []any{"MOCK says hi to " + args[0].(string)}, nil
 	}).MustBind("count", func(...any) ([]any, error) { return []any{-1}, nil })
 
-	test := k.NewDomain("test")
-	if err := test.View.Override("/services/greeter", mock); err != nil {
+	test := sys.NewDomain("test")
+	if err := test.Override("/services/greeter", mock); err != nil {
 		log.Fatal(err)
 	}
-	tiv, err := test.BindInterface("/services/greeter", "example.greeter.v1")
+	th, err := test.Bind("/services/greeter")
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err = tiv.Invoke("greet", "tester")
+	res, err = th.Invoke("example.greeter.v1", "greet", "tester")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("test domain, same name, overridden binding: %q\n", res[0])
 
-	// The app domain still sees the real greeter.
-	res, err = iv.Invoke("count")
+	// The app domain's pre-resolved handle still reaches the real
+	// greeter: overrides affect future binds, not live handles.
+	res, err = count.Call()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module paramecium
+
+go 1.24

@@ -60,7 +60,17 @@ func T1Invocation() Table {
 	iv, _ := o.Iface("bench.counter.v1")
 	ifaceCall := perOp(w, iters, func() { iv.Invoke("inc") })
 
-	// Delegated: front object forwards to the backend.
+	// Pre-resolved handle: same virtual cost as string invocation (the
+	// cost model charges the indirect call, not the lookup), but the
+	// host-machine lookup and lock disappear — see BenchmarkInvoke*.
+	inc, err := iv.Resolve("inc")
+	if err != nil {
+		panic(err)
+	}
+	handleCall := perOp(w, iters, func() { inc.Call() })
+
+	// Delegated: front object forwards to the backend through a handle
+	// resolved at delegation time.
 	front := obj.New("front", w.K.Meter)
 	if _, err := front.AddInterface(counterDecl, nil); err != nil {
 		panic(err)
@@ -69,13 +79,18 @@ func T1Invocation() Table {
 		panic(err)
 	}
 	fv, _ := front.Iface("bench.counter.v1")
-	delegated := perOp(w, iters, func() { fv.Invoke("inc") })
+	finc, err := fv.Resolve("inc")
+	if err != nil {
+		panic(err)
+	}
+	delegated := perOp(w, iters, func() { finc.Call() })
 
 	t.AddRow("direct procedure call", direct, "1.0x")
 	t.AddRow("interface invocation", ifaceCall, ratio(ifaceCall, direct))
+	t.AddRow("pre-resolved handle", handleCall, ratio(handleCall, direct))
 	t.AddRow("delegated invocation", delegated, ratio(delegated, direct))
 
-	// Interposer chains.
+	// Interposer chains, each depth calling through a fresh handle.
 	var target obj.Instance = o
 	for depth := 1; depth <= 4; depth++ {
 		ip := obj.NewInterposer(fmt.Sprintf("mon%d", depth), target)
@@ -87,7 +102,11 @@ func T1Invocation() Table {
 		}
 		target = ip
 		tv, _ := target.Iface("bench.counter.v1")
-		c := perOp(w, iters, func() { tv.Invoke("inc") })
+		tinc, err := tv.Resolve("inc")
+		if err != nil {
+			panic(err)
+		}
+		c := perOp(w, iters, func() { tinc.Call() })
 		t.AddRow(fmt.Sprintf("interposed depth %d", depth), c, ratio(c, direct))
 	}
 	return t
@@ -140,10 +159,18 @@ func T2CrossDomain() Table {
 	}
 	mono.Seal()
 
+	lecho, err := local.Resolve("echo")
+	if err != nil {
+		panic(err)
+	}
+	recho, err := remote.Resolve("echo")
+	if err != nil {
+		panic(err)
+	}
 	for _, size := range []int{0, 64, 1024, 4096} {
 		arg := make([]byte, size)
-		lc := perOp(w, iters, func() { local.Invoke("echo", arg) })
-		pc := perOp(w, iters, func() { remote.Invoke("echo", arg) })
+		lc := perOp(w, iters, func() { lecho.Call(arg) })
+		pc := perOp(w, iters, func() { recho.Call(arg) })
 		mc := perOp(w, iters, func() { mono.Syscall("echo", arg) })
 		t.AddRow(size, lc, pc, mc)
 	}
@@ -742,17 +769,17 @@ func measureProxyCall(costs clock.CostModel, flushOnSwitch bool) uint64 {
 	if err := k.Register("/services/touch", server, serverDom.Ctx); err != nil {
 		panic(err)
 	}
-	iv, err := clientDom.BindInterface("/services/touch", "bench.touch.v1")
+	touch, err := clientDom.ResolveMethod("/services/touch", "bench.touch.v1", "touch")
 	if err != nil {
 		panic(err)
 	}
 	// Warm up, then measure.
-	if _, err := iv.Invoke("touch"); err != nil {
+	if _, err := touch.Call(); err != nil {
 		panic(err)
 	}
 	watch := k.Meter.Clock.StartWatch()
 	for i := 0; i < iters; i++ {
-		if _, err := iv.Invoke("touch"); err != nil {
+		if _, err := touch.Call(); err != nil {
 			panic(err)
 		}
 	}

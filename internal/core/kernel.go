@@ -252,6 +252,18 @@ func (d *Domain) BindInterface(path, iface string) (obj.Invoker, error) {
 	return iv, nil
 }
 
+// ResolveMethod binds path in the domain's view, selects an
+// interface, and pre-resolves one method. Cross-domain targets
+// resolve to a handle over the proxy's entry slot, so even the
+// fault-driven path skips its per-call method lookup.
+func (d *Domain) ResolveMethod(path, iface, method string) (obj.MethodHandle, error) {
+	iv, err := d.BindInterface(path, iface)
+	if err != nil {
+		return obj.MethodHandle{}, err
+	}
+	return iv.Resolve(method)
+}
+
 // KernelBind resolves a path for kernel-resident callers: instances in
 // the kernel context are returned directly; instances in application
 // domains are reached through a proxy owned by the kernel context.

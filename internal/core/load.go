@@ -60,8 +60,9 @@ var FilterDecl = obj.MustInterfaceDecl(FilterIface,
 type LoadedFilter struct {
 	name      string
 	placement Placement
-	iface     obj.Invoker // accept() through object/proxy machinery
-	domain    *Domain     // non-nil for PlaceUser
+	iface     obj.Invoker      // the filter interface (object or proxy)
+	accept    obj.MethodHandle // accept() pre-resolved through object/proxy machinery
+	domain    *Domain          // non-nil for PlaceUser
 	inst      obj.Instance
 }
 
@@ -74,9 +75,11 @@ func (lf *LoadedFilter) Placement() Placement { return lf.placement }
 // Instance returns the underlying object (or proxy).
 func (lf *LoadedFilter) Instance() obj.Instance { return lf.inst }
 
-// Accept implements netstack.Filter.
+// Accept implements netstack.Filter. The per-frame path goes through
+// the handle pre-resolved at load time: no method lookup per packet,
+// whichever protection regime the filter runs under.
 func (lf *LoadedFilter) Accept(frame []byte) (bool, error) {
-	res, err := lf.iface.Invoke("accept", frame)
+	res, err := lf.accept.Call(frame)
 	if err != nil {
 		return false, err
 	}
@@ -179,10 +182,14 @@ func (k *Kernel) wrapFilter(component string, placement Placement, f netstack.Fi
 			return nil, errors.New("core: proxy lost filter interface")
 		}
 		lf.iface = iv
-		return lf, nil
+	} else {
+		lf.iface, _ = o.Iface(FilterIface)
 	}
-	iv, _ := o.Iface(FilterIface)
-	lf.iface = iv
+	accept, err := lf.iface.Resolve("accept")
+	if err != nil {
+		return nil, err
+	}
+	lf.accept = accept
 	return lf, nil
 }
 

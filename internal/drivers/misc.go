@@ -98,6 +98,7 @@ var ConsoleDecl = obj.MustInterfaceDecl(ConsoleIface,
 type ConsoleDriver struct {
 	*obj.Object
 	grant *mem.IOGrant
+	write obj.MethodHandle
 }
 
 // NewConsoleDriver builds a console driver over c.
@@ -124,13 +125,18 @@ func NewConsoleDriver(class string, c *hw.Console, svc *mem.Service, ctx mmu.Con
 		}
 		return []any{len(s)}, nil
 	})
+	iv, _ := d.Iface(ConsoleIface)
+	if d.write, err = iv.Resolve("write"); err != nil {
+		_ = svc.ReleaseIOSpace(grant)
+		return nil, err
+	}
 	return d, nil
 }
 
-// Write prints s to the console device.
+// Write prints s to the console device through the handle resolved at
+// construction.
 func (d *ConsoleDriver) Write(s string) (int, error) {
-	iv, _ := d.Iface(ConsoleIface)
-	res, err := iv.Invoke("write", s)
+	res, err := d.write.Call(s)
 	if err != nil {
 		return 0, err
 	}

@@ -183,5 +183,18 @@ func (v *View) BindInterface(path, ifaceName string) (obj.Invoker, error) {
 	return iv, nil
 }
 
+// ResolveMethod is the full late-binding sequence collapsed to one
+// call: resolve path, select the interface, and pre-bind the method.
+// The returned handle keeps no reference to the view, so later
+// overrides affect future resolutions only — exactly the paper's
+// handle-replacement semantics.
+func (v *View) ResolveMethod(path, ifaceName, method string) (obj.MethodHandle, error) {
+	iv, err := v.BindInterface(path, ifaceName)
+	if err != nil {
+		return obj.MethodHandle{}, err
+	}
+	return iv.Resolve(method)
+}
+
 // Space returns the global space underlying this view.
 func (v *View) Space() *Space { return v.space }

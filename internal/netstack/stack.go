@@ -39,8 +39,11 @@ type Stats struct {
 // datagrams to bound endpoints.
 type Stack struct {
 	*obj.Object
-	driver obj.Invoker
-	meter  *clock.Meter
+	// recv/send are the driver methods pre-resolved at construction:
+	// the per-frame pump path dispatches by slot, not by name.
+	recv  obj.MethodHandle
+	send  obj.MethodHandle
+	meter *clock.Meter
 
 	// Addr/HWAddr identify this stack on the simulated wire.
 	Addr   IP
@@ -57,9 +60,18 @@ func NewStack(class string, meter *clock.Meter, driver obj.Invoker, hwaddr MAC, 
 	if driver == nil {
 		return nil, errors.New("netstack: nil driver")
 	}
+	recv, err := driver.Resolve("recv")
+	if err != nil {
+		return nil, fmt.Errorf("netstack: driver has no recv: %w", err)
+	}
+	send, err := driver.Resolve("send")
+	if err != nil {
+		return nil, fmt.Errorf("netstack: driver has no send: %w", err)
+	}
 	s := &Stack{
 		Object:    obj.New(class, meter),
-		driver:    driver,
+		recv:      recv,
+		send:      send,
 		meter:     meter,
 		Addr:      addr,
 		HWAddr:    hwaddr,
@@ -148,7 +160,7 @@ func (s *Stack) Unbind(port uint16) error {
 func (s *Stack) Pump() int {
 	n := 0
 	for {
-		res, err := s.driver.Invoke("recv")
+		res, err := s.recv.Call()
 		if err != nil {
 			return n
 		}
@@ -220,7 +232,7 @@ func (s *Stack) countMalformed() {
 // Send transmits a UDP datagram through the driver.
 func (s *Stack) Send(dstMAC MAC, dstIP IP, dstPort, srcPort uint16, payload []byte) error {
 	frame := BuildUDPFrame(dstMAC, s.HWAddr, s.Addr, dstIP, srcPort, dstPort, payload)
-	_, err := s.driver.Invoke("send", frame)
+	_, err := s.send.Call(frame)
 	return err
 }
 

@@ -103,9 +103,9 @@ func (c *Composition) Roles() []string {
 }
 
 // ExportChildInterface re-exports an interface of a child as an
-// interface of the composition itself, forwarding all calls. This is
-// the common way a composition presents a facade assembled from its
-// parts.
+// interface of the composition itself, forwarding all calls through
+// handles pre-resolved at export time. This is the common way a
+// composition presents a facade assembled from its parts.
 func (c *Composition) ExportChildInterface(role, ifaceName string) error {
 	c.mu.RLock()
 	child, ok := c.children[role]
@@ -122,10 +122,11 @@ func (c *Composition) ExportChildInterface(role, ifaceName string) error {
 		return err
 	}
 	for _, m := range target.Decl().Methods {
-		name := m.Name
-		if err := bi.Bind(name, func(args ...any) ([]any, error) {
-			return target.Invoke(name, args...)
-		}); err != nil {
+		h, err := target.Resolve(m.Name)
+		if err != nil {
+			return err
+		}
+		if err := bi.Bind(m.Name, h.Call); err != nil {
 			return err
 		}
 	}

@@ -28,7 +28,17 @@ type MethodDecl struct {
 	Name   string
 	NumIn  int
 	NumOut int
+
+	// slot is the method's index within its interface, assigned by
+	// NewInterfaceDecl. Bound interfaces store implementations in a
+	// flat array indexed by slot, so a pre-resolved handle dispatches
+	// without a map lookup.
+	slot int
 }
+
+// Slot returns the method's index within its interface. Only
+// meaningful on declarations obtained from an InterfaceDecl.
+func (m *MethodDecl) Slot() int { return m.slot }
 
 // InterfaceDecl is the type information of a named interface. Decls are
 // immutable after construction and may be shared between many objects.
@@ -57,6 +67,7 @@ func NewInterfaceDecl(name string, methods ...MethodDecl) (*InterfaceDecl, error
 		if _, dup := d.byName[m.Name]; dup {
 			return nil, fmt.Errorf("obj: interface %q declares method %q twice", name, m.Name)
 		}
+		m.slot = i
 		d.byName[m.Name] = m
 	}
 	return d, nil
@@ -96,8 +107,15 @@ type Invoker interface {
 	Decl() *InterfaceDecl
 	// State returns the interface's state pointer (may be nil).
 	State() any
-	// Invoke calls a method by name.
+	// Invoke calls a method by name. It is the compatibility path:
+	// each call pays a name lookup. Callers on a hot path should
+	// Resolve once and Call many times.
 	Invoke(method string, args ...any) ([]any, error)
+	// Resolve pre-binds a method, returning a handle whose Call
+	// dispatches by slot index with no per-call name lookup. The
+	// handle observes later rebinding of the slot (late binding is
+	// preserved); it fails only for undeclared methods.
+	Resolve(method string) (MethodHandle, error)
 }
 
 // Instance is anything that can be registered in, and bound from, the
@@ -124,6 +142,16 @@ var (
 func CheckArity(d *MethodDecl, args []any) error {
 	if d.NumIn >= 0 && len(args) != d.NumIn {
 		return fmt.Errorf("%w: %s takes %d args, got %d", ErrArity, d.Name, d.NumIn, len(args))
+	}
+	return nil
+}
+
+// CheckResults validates a result list against a method declaration,
+// so an implementation cannot silently return the wrong number of
+// results past the interface's type information.
+func CheckResults(d *MethodDecl, results []any) error {
+	if d.NumOut >= 0 && len(results) != d.NumOut {
+		return fmt.Errorf("%w: %s returns %d results, got %d", ErrArity, d.Name, d.NumOut, len(results))
 	}
 	return nil
 }

@@ -1,0 +1,54 @@
+package obj
+
+import "fmt"
+
+// MethodHandle is a pre-resolved method binding: the bind-once /
+// invoke-many pattern the paper's late binding implies. A handle is
+// obtained from Invoker.Resolve; its Call dispatches by slot index
+// with no per-call name lookup or lock. Handles stay live through
+// rebinding — a slot rebound after Resolve is observed by the next
+// Call, exactly as a string-keyed Invoke would observe it.
+//
+// The zero MethodHandle is invalid; Call on it fails.
+type MethodHandle struct {
+	decl *MethodDecl
+	call Method
+}
+
+// NewMethodHandle builds a handle from a declaration and a dispatch
+// function. It is intended for Invoker implementations (interposers,
+// cross-domain proxies) that supply their own dispatch path; dispatch
+// receives the arguments exactly as passed to Call, after arity
+// validation.
+func NewMethodHandle(decl *MethodDecl, dispatch Method) MethodHandle {
+	if decl == nil || dispatch == nil {
+		return MethodHandle{}
+	}
+	return MethodHandle{decl: decl, call: dispatch}
+}
+
+// Valid reports whether the handle is usable.
+func (h MethodHandle) Valid() bool { return h.call != nil }
+
+// Decl returns the type information of the resolved method.
+func (h MethodHandle) Decl() *MethodDecl { return h.decl }
+
+// Call invokes the resolved method. It validates argument arity
+// before dispatch and result arity after a successful return, using
+// the declaration captured at resolve time.
+func (h MethodHandle) Call(args ...any) ([]any, error) {
+	if h.call == nil {
+		return nil, fmt.Errorf("%w: call through zero method handle", ErrUnbound)
+	}
+	if err := CheckArity(h.decl, args); err != nil {
+		return nil, err
+	}
+	res, err := h.call(args...)
+	if err != nil {
+		return nil, err
+	}
+	if err := CheckResults(h.decl, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

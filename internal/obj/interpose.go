@@ -147,5 +147,31 @@ func (ii *interposedIface) Invoke(method string, args ...any) ([]any, error) {
 	return ii.target.Invoke(method, args...)
 }
 
+// Resolve implements Invoker. The target's handle is resolved once,
+// so repeated calls pay neither the interposer's nor the target's
+// name lookup; the wrapper is looked up per call from the same wrap
+// set Invoke consults, so a Wrap installed after Resolve is observed
+// by live handles exactly as it is by string invocation. An
+// interface with no wrap set and no meter resolves straight through
+// to the target's handle.
+func (ii *interposedIface) Resolve(method string) (MethodHandle, error) {
+	th, err := ii.target.Resolve(method)
+	if err != nil {
+		return MethodHandle{}, err
+	}
+	if ii.wraps == nil && ii.meter == nil {
+		return th, nil
+	}
+	return MethodHandle{decl: th.decl, call: func(args ...any) ([]any, error) {
+		if ii.meter != nil {
+			ii.meter.Charge(clock.OpIndirect)
+		}
+		if w, ok := ii.wraps[method]; ok {
+			return w(th.Call, args...)
+		}
+		return th.call(args...)
+	}}, nil
+}
+
 var _ Instance = (*Interposer)(nil)
 var _ Invoker = (*interposedIface)(nil)

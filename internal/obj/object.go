@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"paramecium/internal/clock"
 )
@@ -72,7 +73,7 @@ func (o *Object) AddInterface(decl *InterfaceDecl, state any) (*BoundInterface, 
 	if _, dup := o.ifaces[decl.Name]; dup {
 		return nil, fmt.Errorf("obj: object %q already exports %q", o.class, decl.Name)
 	}
-	bi := &BoundInterface{decl: decl, state: state, meter: o.meter, slots: make(map[string]Method, len(decl.Methods))}
+	bi := newBoundInterface(decl, state, o.meter)
 	o.ifaces[decl.Name] = bi
 	return bi, nil
 }
@@ -123,7 +124,8 @@ func (o *Object) InterfaceNames() []string {
 // the same-named interface of another instance, forwarding calls. This
 // is the paper's method delegation: the delegating object shares the
 // delegate's code while keeping its own identity and any methods it
-// bound itself.
+// bound itself. Forwarding goes through a handle pre-resolved at
+// delegation time, so delegated calls skip the target's name lookup.
 func (o *Object) Delegate(ifaceName string, to Instance) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -135,16 +137,22 @@ func (o *Object) Delegate(ifaceName string, to Instance) error {
 	if !ok {
 		return fmt.Errorf("%w: delegate %q does not export %q", ErrNoInterface, to.Class(), ifaceName)
 	}
-	bi.mu.Lock()
-	defer bi.mu.Unlock()
-	for _, m := range bi.decl.Methods {
-		if _, bound := bi.slots[m.Name]; bound {
-			continue
+	for i := range bi.decl.Methods {
+		m := &bi.decl.Methods[i]
+		var fn Method
+		if h, err := target.Resolve(m.Name); err == nil {
+			fn = h.Call
+		} else {
+			// The target declares a different method set; keep the
+			// late-bound forward so the mismatch surfaces per call.
+			name := m.Name
+			fn = func(args ...any) ([]any, error) {
+				return target.Invoke(name, args...)
+			}
 		}
-		name := m.Name
-		bi.slots[name] = func(args ...any) ([]any, error) {
-			return target.Invoke(name, args...)
-		}
+		// Only bind slots still empty: methods the object bound itself
+		// take precedence over the delegate's.
+		bi.slots[m.slot].CompareAndSwap(nil, &fn)
 	}
 	return nil
 }
@@ -156,10 +164,7 @@ func (o *Object) FullyBound() bool {
 	o.mu.RLock()
 	defer o.mu.RUnlock()
 	for _, bi := range o.ifaces {
-		bi.mu.RLock()
-		complete := len(bi.slots) == len(bi.decl.Methods)
-		bi.mu.RUnlock()
-		if !complete {
+		if !bi.fullyBound() {
 			return false
 		}
 	}
@@ -167,14 +172,44 @@ func (o *Object) FullyBound() bool {
 }
 
 // BoundInterface is an interface exported by a concrete object: the
-// declaration, the state pointer, and the bound method slots.
+// declaration, the state pointer, and the bound method slots. Slots
+// are a flat array indexed by the declaration's slot numbers; each
+// slot is an atomic pointer so the invocation path never takes a
+// lock, while Bind and Delegate may still rewire methods at run time.
 type BoundInterface struct {
 	decl  *InterfaceDecl
 	state any
 	meter *clock.Meter
 
-	mu    sync.RWMutex
-	slots map[string]Method
+	slots   []atomic.Pointer[Method]
+	handles []MethodHandle
+}
+
+// newBoundInterface allocates the slot array and pre-builds one
+// dispatch handle per declared method.
+func newBoundInterface(decl *InterfaceDecl, state any, meter *clock.Meter) *BoundInterface {
+	b := &BoundInterface{
+		decl:    decl,
+		state:   state,
+		meter:   meter,
+		slots:   make([]atomic.Pointer[Method], len(decl.Methods)),
+		handles: make([]MethodHandle, len(decl.Methods)),
+	}
+	for i := range decl.Methods {
+		md := &decl.Methods[i]
+		slot := &b.slots[i]
+		b.handles[i] = MethodHandle{decl: md, call: func(args ...any) ([]any, error) {
+			fn := slot.Load()
+			if fn == nil {
+				return nil, fmt.Errorf("%w: %q.%s", ErrUnbound, decl.Name, md.Name)
+			}
+			if meter != nil {
+				meter.Charge(clock.OpIndirect)
+			}
+			return (*fn)(args...)
+		}}
+	}
+	return b
 }
 
 // Decl implements Invoker.
@@ -185,15 +220,14 @@ func (b *BoundInterface) State() any { return b.state }
 
 // Bind installs the implementation of one declared method.
 func (b *BoundInterface) Bind(method string, fn Method) error {
-	if _, ok := b.decl.Method(method); !ok {
+	md, ok := b.decl.Method(method)
+	if !ok {
 		return fmt.Errorf("%w: %q not declared by %q", ErrNoMethod, method, b.decl.Name)
 	}
 	if fn == nil {
 		return fmt.Errorf("obj: nil implementation for %q.%s", b.decl.Name, method)
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.slots[method] = fn
+	b.slots[md.slot].Store(&fn)
 	return nil
 }
 
@@ -205,26 +239,36 @@ func (b *BoundInterface) MustBind(method string, fn Method) *BoundInterface {
 	return b
 }
 
-// Invoke implements Invoker. It validates arity against the type
-// information and charges one indirect-call cost.
-func (b *BoundInterface) Invoke(method string, args ...any) ([]any, error) {
+// Resolve implements Invoker: one name lookup returns the method's
+// pre-built handle. The handle tracks the slot, not the current
+// implementation, so rebinding after Resolve is still observed.
+func (b *BoundInterface) Resolve(method string) (MethodHandle, error) {
 	md, ok := b.decl.Method(method)
 	if !ok {
-		return nil, fmt.Errorf("%w: %q.%s", ErrNoMethod, b.decl.Name, method)
+		return MethodHandle{}, fmt.Errorf("%w: %q.%s", ErrNoMethod, b.decl.Name, method)
 	}
-	if err := CheckArity(md, args); err != nil {
+	return b.handles[md.slot], nil
+}
+
+// Invoke implements Invoker as the compatibility path: a name lookup
+// followed by the same slot dispatch a pre-resolved handle performs
+// (arity validation, one indirect-call charge, result validation).
+func (b *BoundInterface) Invoke(method string, args ...any) ([]any, error) {
+	h, err := b.Resolve(method)
+	if err != nil {
 		return nil, err
 	}
-	b.mu.RLock()
-	fn, bound := b.slots[method]
-	b.mu.RUnlock()
-	if !bound {
-		return nil, fmt.Errorf("%w: %q.%s", ErrUnbound, b.decl.Name, method)
+	return h.Call(args...)
+}
+
+// fullyBound reports whether every slot holds an implementation.
+func (b *BoundInterface) fullyBound() bool {
+	for i := range b.slots {
+		if b.slots[i].Load() == nil {
+			return false
+		}
 	}
-	if b.meter != nil {
-		b.meter.Charge(clock.OpIndirect)
-	}
-	return fn(args...)
+	return true
 }
 
 var _ Invoker = (*BoundInterface)(nil)

@@ -87,12 +87,9 @@ func (f *Factory) New(callerCtx, targetCtx mmu.ContextID, target obj.Instance) (
 			continue
 		}
 		pageVA := f.allocEntryPage(callerCtx)
-		ei := &entryIface{proxy: p, target: iv, pageVA: pageVA, slots: make(map[string]int)}
-		methods := iv.Decl().MethodNames()
-		sort.Strings(methods)
-		for i, m := range methods {
-			ei.slots[m] = i
-		}
+		// Entry slots are laid out by the declaration's slot indices,
+		// the same numbering every bound interface dispatches by.
+		ei := &entryIface{proxy: p, target: iv, pageVA: pageVA}
 		if err := f.svc.RegisterFaultHandler(callerCtx, pageVA, ei.handleFault); err != nil {
 			p.closeLocked()
 			return nil, fmt.Errorf("proxy: entry page for %q: %w", name, err)
@@ -177,7 +174,6 @@ type entryIface struct {
 	proxy  *Proxy
 	target obj.Invoker
 	pageVA mmu.VAddr
-	slots  map[string]int // method -> slot index
 
 	mu      sync.Mutex // serializes calls through this interface
 	pending *pendingCall
@@ -202,6 +198,33 @@ func (e *entryIface) State() any { return nil }
 // Invoke implements obj.Invoker: it references the method's entry
 // slot, taking the page fault that drives the cross-domain call.
 func (e *entryIface) Invoke(method string, args ...any) ([]any, error) {
+	md, ok := e.target.Decl().Method(method)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q.%s", obj.ErrNoMethod, e.target.Decl().Name, method)
+	}
+	if err := obj.CheckArity(md, args); err != nil {
+		return nil, err
+	}
+	return e.fault(md, args)
+}
+
+// Resolve implements obj.Invoker: the entry slot's address is
+// computed once, and the returned handle faults straight into the
+// kernel on every Call with no per-call method lookup.
+func (e *entryIface) Resolve(method string) (obj.MethodHandle, error) {
+	md, ok := e.target.Decl().Method(method)
+	if !ok {
+		return obj.MethodHandle{}, fmt.Errorf("%w: %q.%s", obj.ErrNoMethod, e.target.Decl().Name, method)
+	}
+	return obj.NewMethodHandle(md, func(args ...any) ([]any, error) {
+		return e.fault(md, args)
+	}), nil
+}
+
+// fault performs the cross-domain call for one pre-looked-up method:
+// it references the method's entry slot, taking the page fault that
+// drives the kernel's call handler.
+func (e *entryIface) fault(md *obj.MethodDecl, args []any) ([]any, error) {
 	p := e.proxy
 	p.mu.Lock()
 	if p.closed {
@@ -210,30 +233,20 @@ func (e *entryIface) Invoke(method string, args ...any) ([]any, error) {
 	}
 	p.mu.Unlock()
 
-	slot, ok := e.slots[method]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q.%s", obj.ErrNoMethod, e.target.Decl().Name, method)
-	}
-	if md, ok := e.target.Decl().Method(method); ok {
-		if err := obj.CheckArity(md, args); err != nil {
-			return nil, err
-		}
-	}
-
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	call := &pendingCall{method: method, args: args}
+	call := &pendingCall{method: md.Name, args: args}
 	e.pending = call
 	defer func() { e.pending = nil }()
 
 	// Touch the entry slot: unmapped, so this page-faults into the
 	// kernel, whose per-page handler performs the actual invocation.
-	slotVA := e.pageVA + mmu.VAddr(slot*8)
+	slotVA := e.pageVA + mmu.VAddr(md.Slot()*8)
 	machine := p.factory.svc.Machine()
 	_ = machine.Touch(p.callerCtx, slotVA, mmu.AccessExec)
 
 	if !call.done {
-		return nil, fmt.Errorf("%w: %q.%s", ErrNoDelivery, e.target.Decl().Name, method)
+		return nil, fmt.Errorf("%w: %q.%s", ErrNoDelivery, e.target.Decl().Name, md.Name)
 	}
 	p.mu.Lock()
 	p.calls++

@@ -1,0 +1,222 @@
+package paramecium
+
+import (
+	"fmt"
+
+	"paramecium/api"
+	"paramecium/internal/clock"
+	"paramecium/internal/core"
+	"paramecium/internal/hw"
+	"paramecium/internal/mmu"
+	"paramecium/internal/obj"
+)
+
+// MachineConfig configures the simulated hardware a system boots on:
+// physical frame count, MMU shape and the virtual-cycle cost model.
+type MachineConfig = hw.Config
+
+// CostModel prices every hardware and software operation in virtual
+// cycles; see DefaultCosts for the calibrated baseline.
+type CostModel = clock.CostModel
+
+// DefaultCosts returns the calibrated virtual-cycle cost model.
+func DefaultCosts() CostModel { return clock.DefaultCosts() }
+
+// Option configures Boot.
+type Option func(*core.Config)
+
+// WithAuthority sets the public key of the certification authority the
+// kernel trusts. Without it certification is disabled and every
+// kernel-resident placement request fails closed.
+func WithAuthority(publicKey []byte) Option {
+	return func(c *core.Config) { c.AuthorityKey = publicKey }
+}
+
+// WithMachine configures the simulated hardware.
+func WithMachine(mc MachineConfig) Option {
+	return func(c *core.Config) { c.Machine = mc }
+}
+
+// Boot assembles a Paramecium system: the simulated machine and the
+// nucleus — "a protected and trusted component which implements only
+// those services that cannot be moved into the application without
+// jeopardizing the system's integrity" — with the root of the
+// hierarchical name space over it.
+func Boot(opts ...Option) (*System, error) {
+	var cfg core.Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	k, err := core.Boot(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{k: k}, nil
+}
+
+// System is a booted Paramecium kernel as seen by an embedding
+// program: a facade over the nucleus, the name space and the
+// protection-domain machinery.
+type System struct {
+	k *core.Kernel
+}
+
+// Cycles reports the machine's virtual clock: total cycles charged
+// since boot.
+func (s *System) Cycles() uint64 { return s.k.Meter.Clock.Now() }
+
+// NewObject creates an empty object of the given class, wired to the
+// system's cycle meter. Export interfaces with AddInterface and bind
+// methods before registering it.
+func (s *System) NewObject(class string) *api.Object {
+	return obj.New(class, s.k.Meter)
+}
+
+// NewComposition creates an object composed of other instances.
+func (s *System) NewComposition(class string) *api.Composition {
+	return obj.NewComposition(class, s.k.Meter)
+}
+
+// NewInterposer wraps target in an interposing agent that initially
+// forwards everything; specialize it with Wrap and AddExtraInterface.
+// The agent is wired to the system's cycle meter, so interposition
+// layers are visible in virtual time.
+func (s *System) NewInterposer(class string, target api.Instance) *api.Interposer {
+	ip := obj.NewInterposer(class, target)
+	ip.SetMeter(s.k.Meter)
+	return ip
+}
+
+// Register places an instance in the name space, resident in the
+// kernel protection domain. Domains that bind it are handed a proxy.
+func (s *System) Register(path string, inst api.Instance) error {
+	return s.k.Register(path, inst, mmu.KernelContext)
+}
+
+// Bind resolves path for a kernel-resident caller, returning a handle
+// on the instance (reached through a proxy if it lives in an
+// application domain).
+func (s *System) Bind(path string) (*Handle, error) {
+	inst, err := s.k.KernelBind(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{path: path, inst: inst}, nil
+}
+
+// Interpose replaces the instance at path with an interposing agent
+// built by build, returning a handle on the agent. All future binds
+// resolve to the agent; existing handles are unaffected — the paper's
+// handle-replacement semantics.
+func (s *System) Interpose(path string, build func(target api.Instance) (api.Instance, error)) (*Handle, error) {
+	agent, err := s.k.Interpose(path, build)
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{path: path, inst: agent}, nil
+}
+
+// Unwrap undoes an interposition at path, restoring the wrapped
+// instance.
+func (s *System) Unwrap(path string) error { return s.k.Unwrap(path) }
+
+// NewDomain creates an application protection domain with its own
+// view of the name space, inherited from the root view.
+func (s *System) NewDomain(name string) *Domain {
+	return &Domain{s: s, d: s.k.NewDomain(name)}
+}
+
+// Domain is an application protection domain: a private view of the
+// name space plus an address-space context. Objects bound from
+// another domain are reached through cross-domain proxies.
+type Domain struct {
+	s *System
+	d *core.Domain
+}
+
+// Name reports the domain's name.
+func (d *Domain) Name() string { return d.d.Name }
+
+// Register places an instance in the name space, resident in this
+// domain. Other domains (and the kernel) reach it through proxies.
+func (d *Domain) Register(path string, inst api.Instance) error {
+	return d.s.k.Register(path, inst, d.d.Ctx)
+}
+
+// Override makes path resolve to inst in this domain's view only,
+// without touching the global name space or sibling domains.
+func (d *Domain) Override(path string, inst api.Instance) error {
+	return d.d.View.Override(path, inst)
+}
+
+// Alias redirects this domain's lookups of one path to another.
+func (d *Domain) Alias(from, to string) error {
+	return d.d.View.Alias(from, to)
+}
+
+// Bind resolves path in the domain's view. If the instance lives in
+// another protection domain, the handle wraps a proxy — "importing an
+// object from another protection domain, by means of the directory
+// service, causes a proxy to appear."
+func (d *Domain) Bind(path string) (*Handle, error) {
+	inst, err := d.d.Bind(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{path: path, inst: inst}, nil
+}
+
+// Destroy tears the domain down, closing its proxies and releasing
+// its address space.
+func (d *Domain) Destroy() error { return d.s.k.DestroyDomain(d.d) }
+
+// Handle is a typed handle on an instance bound from the name space.
+// It pins the binding made at Bind time: later interpositions or
+// overrides of the name affect future binds, not this handle.
+type Handle struct {
+	path string
+	inst obj.Instance
+}
+
+// Path reports the name the handle was bound from.
+func (h *Handle) Path() string { return h.path }
+
+// Class reports the component (not instance) class name.
+func (h *Handle) Class() string { return h.inst.Class() }
+
+// Instance returns the underlying instance (object, composition,
+// interposer or proxy).
+func (h *Handle) Instance() api.Instance { return h.inst }
+
+// Interfaces lists the instance's exported interface names, sorted.
+func (h *Handle) Interfaces() []string { return h.inst.InterfaceNames() }
+
+// Interface returns the named exported interface.
+func (h *Handle) Interface(name string) (api.Invoker, error) {
+	iv, ok := h.inst.Iface(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q on %q", obj.ErrNoInterface, name, h.path)
+	}
+	return iv, nil
+}
+
+// Resolve pre-binds one method of one interface: the bind-once /
+// invoke-many fast path. The returned handle dispatches by slot index
+// with no per-call name lookup.
+func (h *Handle) Resolve(iface, method string) (api.MethodHandle, error) {
+	iv, err := h.Interface(iface)
+	if err != nil {
+		return api.MethodHandle{}, err
+	}
+	return iv.Resolve(method)
+}
+
+// Invoke calls a method by name: the string-keyed compatibility path,
+// paying an interface and method lookup per call.
+func (h *Handle) Invoke(iface, method string, args ...any) ([]any, error) {
+	iv, err := h.Interface(iface)
+	if err != nil {
+		return nil, err
+	}
+	return iv.Invoke(method, args...)
+}

@@ -5,6 +5,8 @@
 package paramecium_test
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"paramecium/internal/bench"
@@ -102,6 +104,93 @@ func BenchmarkInvokeHandle(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkP0_SerializedProxyCall is the pre-PR reference point: the
+// same cross-domain handle, but every call serialized through one
+// mutex — exactly what the old per-interface pending-slot design
+// imposed on concurrent callers. Compare its ns/op against
+// BenchmarkP1_ParallelProxyCall at GOMAXPROCS≥8: the ratio is the
+// aggregate speedup of the per-call frame redesign.
+func BenchmarkP0_SerializedProxyCall(b *testing.B) {
+	inc, _ := bench.SharedCounterHandle()
+	var mu sync.Mutex
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			mu.Lock()
+			_, err := inc.Call()
+			mu.Unlock()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkP1_ParallelProxyCall drives one shared cross-domain handle
+// from GOMAXPROCS goroutines with no caller-side serialization: each
+// call carries its own pooled frame through the fault path.
+func BenchmarkP1_ParallelProxyCall(b *testing.B) {
+	inc, _ := bench.SharedCounterHandle()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := inc.Call(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkP2_ParallelLookup resolves one deep path from GOMAXPROCS
+// goroutines: name-space lookups walk an immutable copy-on-write
+// snapshot and take no lock.
+func BenchmarkP2_ParallelLookup(b *testing.B) {
+	w := bench.NewWorld()
+	leaf := obj.New("leaf", w.K.Meter)
+	if err := w.K.Space.Register("/a/b/c/d", leaf); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := w.K.RootView.Bind("/a/b/c/d"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkP3_ParallelInvokeHandle is the parallel twin of
+// BenchmarkInvokeHandle: one meterless local handle shared by
+// GOMAXPROCS goroutines, measuring the slot-dispatch path's scaling.
+func BenchmarkP3_ParallelInvokeHandle(b *testing.B) {
+	decl := obj.MustInterfaceDecl("bench.atomic.v1", obj.MethodDecl{Name: "inc", NumIn: 0, NumOut: 1})
+	o := obj.New("counter", nil)
+	var n atomic.Int64
+	bi, err := o.AddInterface(decl, &n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bi.MustBind("inc", func(...any) ([]any, error) { return []any{n.Add(1)}, nil })
+	iv, _ := o.Iface("bench.atomic.v1")
+	inc, err := iv.Resolve("inc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := inc.Call(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkT2_CrossDomain(b *testing.B) {

@@ -1,0 +1,203 @@
+// Command benchgate is the CI benchmark-regression gate. It parses
+// `go test -bench` output, writes a machine-readable JSON report of
+// every benchmark's metrics, and — when given a baseline — fails if
+// any gated hot-path benchmark regressed beyond the threshold.
+//
+// Gating compares cycles/op, the simulation's deterministic virtual
+// cost: it does not vary with CI hardware, load or GOMAXPROCS, so a
+// tight threshold holds without flakes. Host ns/op is recorded in the
+// report for humans (and for the parallel P-series, which has no
+// virtual-cycle metric) but is not gated by default because wall
+// clock on shared runners is noise.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchtime 2000x . | tee bench.out
+//	benchgate -in bench.out -out BENCH_invoke.json \
+//	          -baseline ci/bench_baseline.json -threshold 0.20
+//
+// To refresh the committed baseline after an intentional cost change,
+// rerun the same benchmark command and copy the -out file over
+// ci/bench_baseline.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed metrics.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	CyclesPerOp float64 `json:"cycles_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the BENCH_invoke.json schema.
+type Report struct {
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Benchmarks map[string]*Result `json:"benchmarks"`
+}
+
+func main() {
+	in := flag.String("in", "-", "benchmark output to parse ('-' for stdin)")
+	out := flag.String("out", "", "write the JSON report here (empty: stdout)")
+	baseline := flag.String("baseline", "", "baseline JSON to gate against (empty: no gate)")
+	threshold := flag.Float64("threshold", 0.20, "maximum allowed cycles/op regression, as a fraction")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	report, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(report.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in %s", *in))
+	}
+
+	js, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	js = append(js, '\n')
+	if *out == "" {
+		os.Stdout.Write(js)
+	} else if err := os.WriteFile(*out, js, 0o644); err != nil {
+		fatal(err)
+	}
+
+	if *baseline == "" {
+		return
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	if failures := gate(base, report, *threshold); len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchgate: %d benchmarks, gate passed (threshold %.0f%%)\n",
+		len(report.Benchmarks), *threshold*100)
+}
+
+// parse reads `go test -bench` output. A benchmark line looks like:
+//
+//	BenchmarkT2_CrossDomain-8   200000   813.7 ns/op   714.0 cycles/op
+//
+// The -N GOMAXPROCS suffix is stripped so names stay stable across
+// runner shapes.
+func parse(r io.Reader) (*Report, error) {
+	report := &Report{GoMaxProcs: runtime.GOMAXPROCS(0), Benchmarks: map[string]*Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		res := report.Benchmarks[name]
+		if res == nil {
+			res = &Result{}
+			report.Benchmarks[name] = res
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "cycles/op":
+				res.CyclesPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+	}
+	return report, sc.Err()
+}
+
+func load(path string) (*Report, error) {
+	js, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(js, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// gate compares every baseline benchmark that carries a cycles/op
+// metric against the current run. Missing benchmarks fail: deleting a
+// gated hot path is a decision, recorded by editing the baseline.
+func gate(base, cur *Report, threshold float64) []string {
+	var failures []string
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		if b.CyclesPerOp == 0 {
+			continue // host-time-only benchmark (P-series, Invoke pair): not gated
+		}
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but not in this run", name))
+			continue
+		}
+		if c.CyclesPerOp == 0 {
+			failures = append(failures, fmt.Sprintf("%s: baseline has %.1f cycles/op but this run reported none (metric lost?)",
+				name, b.CyclesPerOp))
+			continue
+		}
+		limit := b.CyclesPerOp * (1 + threshold)
+		switch {
+		case c.CyclesPerOp > limit:
+			failures = append(failures, fmt.Sprintf("%s: %.1f cycles/op, baseline %.1f (+%.1f%% > +%.0f%% allowed)",
+				name, c.CyclesPerOp, b.CyclesPerOp,
+				100*(c.CyclesPerOp-b.CyclesPerOp)/b.CyclesPerOp, threshold*100))
+		case c.CyclesPerOp < b.CyclesPerOp*(1-threshold):
+			fmt.Fprintf(os.Stderr, "note: %s improved to %.1f cycles/op (baseline %.1f); consider refreshing the baseline\n",
+				name, c.CyclesPerOp, b.CyclesPerOp)
+		}
+	}
+	return failures
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

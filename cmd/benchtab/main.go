@@ -3,8 +3,10 @@
 //
 // Usage:
 //
-//	benchtab            # run all experiments
+//	benchtab            # run all deterministic experiments
 //	benchtab T1 F2      # run selected experiments by id
+//	benchtab -parallel  # also run the host-parallel P-series
+//	benchtab P1         # run one parallel experiment by id
 package main
 
 import (
@@ -17,9 +19,11 @@ import (
 )
 
 func main() {
+	parallel := flag.Bool("parallel", false,
+		"also run the P-series parallel-throughput experiments (host wall-clock, not deterministic)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchtab [experiment ids...]\n")
-		fmt.Fprintf(os.Stderr, "experiments: T1 T2 T3 T4 T5 T6 F1 F2 F3 F4 F5 (default: all)\n")
+		fmt.Fprintf(os.Stderr, "usage: benchtab [-parallel] [experiment ids...]\n")
+		fmt.Fprintf(os.Stderr, "experiments: T1 T2 T3 T4 T5 T6 F1 F2 F3 F4 F5 P1 P2 (default: all T/F)\n")
 	}
 	flag.Parse()
 
@@ -40,12 +44,11 @@ func main() {
 		"F3": bench.F3BlockingFraction,
 		"F4": bench.F4Namespace,
 		"F5": bench.F5TrapCostSweep,
+		"P1": bench.P1ParallelProxyCall,
+		"P2": bench.P2ParallelLookup,
 	}
-	order := []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4", "F5"}
+	order := []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4", "F5", "P1", "P2"}
 
-	for _, id := range want {
-		_ = id
-	}
 	for _, a := range flag.Args() {
 		if _, ok := runners[strings.ToUpper(a)]; !ok {
 			fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q\n", a)
@@ -55,7 +58,13 @@ func main() {
 
 	ran := 0
 	for _, id := range order {
-		if len(want) > 0 && !want[id] {
+		isParallel := strings.HasPrefix(id, "P")
+		switch {
+		case len(want) > 0:
+			if !want[id] {
+				continue
+			}
+		case isParallel && !*parallel:
 			continue
 		}
 		t := runners[id]()

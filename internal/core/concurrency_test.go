@@ -1,0 +1,116 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"paramecium/internal/obj"
+)
+
+// TestConcurrentCrossDomainInvocation drives the whole invocation
+// plane end to end in parallel: many goroutines in one client domain
+// share pre-resolved handles onto a server object in another domain,
+// while other goroutines bind and resolve afresh. Everything from the
+// name space through the proxy fault path must cope.
+func TestConcurrentCrossDomainInvocation(t *testing.T) {
+	k, err := Boot(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decl := obj.MustInterfaceDecl("svc.count.v1",
+		obj.MethodDecl{Name: "inc", NumIn: 0, NumOut: 1})
+	server := obj.New("counter", k.Meter)
+	var n atomic.Int64
+	bi, err := server.AddInterface(decl, &n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi.MustBind("inc", func(...any) ([]any, error) { return []any{n.Add(1)}, nil })
+
+	serverDom := k.NewDomain("server")
+	clientDom := k.NewDomain("client")
+	if err := k.Register("/services/counter", server, serverDom.Ctx); err != nil {
+		t.Fatal(err)
+	}
+	shared, err := clientDom.ResolveMethod("/services/counter", "svc.count.v1", "inc")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 12
+	const callsEach = 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// A third of the goroutines re-resolve per iteration, so
+			// name-space lookups and the proxy bind cache race the
+			// shared-handle callers.
+			for i := 0; i < callsEach; i++ {
+				h := shared
+				if g%3 == 0 {
+					var err error
+					h, err = clientDom.ResolveMethod("/services/counter", "svc.count.v1", "inc")
+					if err != nil {
+						t.Errorf("resolve: %v", err)
+						return
+					}
+				}
+				if _, err := h.Call(); err != nil {
+					t.Errorf("call: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := n.Load(); got != goroutines*callsEach {
+		t.Fatalf("server saw %d calls, want %d", got, goroutines*callsEach)
+	}
+}
+
+// TestConcurrentBindSharesOneProxy: parallel Binds of one instance
+// from one domain must converge on a single cached proxy.
+func TestConcurrentBindSharesOneProxy(t *testing.T) {
+	k, err := Boot(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decl := obj.MustInterfaceDecl("svc.noop.v1",
+		obj.MethodDecl{Name: "noop", NumIn: 0, NumOut: 0})
+	server := obj.New("noop", k.Meter)
+	bi, err := server.AddInterface(decl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi.MustBind("noop", func(...any) ([]any, error) { return nil, nil })
+	serverDom := k.NewDomain("server")
+	clientDom := k.NewDomain("client")
+	if err := k.Register("/services/noop", server, serverDom.Ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	const binders = 8
+	got := make([]obj.Instance, binders)
+	var wg sync.WaitGroup
+	for g := 0; g < binders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			inst, err := clientDom.Bind("/services/noop")
+			if err != nil {
+				t.Errorf("bind: %v", err)
+				return
+			}
+			got[g] = inst
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < binders; g++ {
+		if got[g] != got[0] {
+			t.Fatalf("bind %d returned a different proxy than bind 0", g)
+		}
+	}
+}

@@ -66,7 +66,9 @@ type Kernel struct {
 	// Nucleus is the static composition holding the four services.
 	Nucleus *obj.Composition
 
-	mu        sync.Mutex
+	// mu guards placement and domains. Bind — the hot lookup path —
+	// only read-locks it.
+	mu        sync.RWMutex
 	placement map[obj.Instance]mmu.ContextID // where each registered instance lives
 	domains   map[mmu.ContextID]*Domain
 }
@@ -197,8 +199,8 @@ func (k *Kernel) registerPlacement(inst obj.Instance, ctx mmu.ContextID) {
 // PlacementOf reports the context an instance was registered under
 // (kernel context if never registered).
 func (k *Kernel) PlacementOf(inst obj.Instance) mmu.ContextID {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	k.mu.RLock()
+	defer k.mu.RUnlock()
 	return k.placement[inst]
 }
 

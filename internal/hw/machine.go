@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"paramecium/internal/clock"
 	"paramecium/internal/mmu"
@@ -65,6 +66,11 @@ type TrapFrame struct {
 	Access mmu.Access
 	Fault  *mmu.Fault // populated for page-fault traps
 	Arg    uint64     // syscall number or device-specific argument
+	// Token is a caller-supplied tag threaded from TouchTagged through
+	// to the fault handler. Reentrant handlers (the cross-domain proxy)
+	// key per-call state on it so concurrent faults on one page find
+	// their own call frames. Zero means "untagged access".
+	Token uint64
 }
 
 // TrapHandler handles a trap or interrupt. The handler for a page fault
@@ -85,7 +91,10 @@ type Machine struct {
 	MMU   *mmu.MMU
 	Phys  *mmu.PhysMem
 
-	mu         sync.Mutex
+	// mu guards the handler tables, device list and IRQ state. The
+	// trap hot path (RaiseTrap) only ever read-locks it, so concurrent
+	// page faults dispatch in parallel.
+	mu         sync.RWMutex
 	trapTable  map[TrapVector]TrapHandler
 	irqTable   [NumIRQLines]TrapHandler
 	irqMasked  [NumIRQLines]bool
@@ -93,10 +102,10 @@ type Machine struct {
 	devices    []Device
 	iospaces   map[string]*IORegion
 
-	// stats
-	trapsDelivered uint64
-	irqsDelivered  uint64
-	irqsDropped    uint64
+	// stats, atomic: counted on the concurrent fault path.
+	trapsDelivered atomic.Uint64
+	irqsDelivered  atomic.Uint64
+	irqsDropped    atomic.Uint64
 }
 
 // Config controls machine construction.
@@ -186,10 +195,10 @@ func (m *Machine) UnmaskIRQ(line IRQLine) error {
 // It returns the handler's verdict (meaningful for page faults) or
 // ErrNoHandler.
 func (m *Machine) RaiseTrap(frame *TrapFrame) (bool, error) {
-	m.mu.Lock()
+	m.mu.RLock()
 	h := m.trapTable[frame.Vector]
-	m.trapsDelivered++
-	m.mu.Unlock()
+	m.mu.RUnlock()
+	m.trapsDelivered.Add(1)
 	m.Meter.Charge(clock.OpTrapEnter)
 	defer m.Meter.Charge(clock.OpTrapExit)
 	if h == nil {
@@ -213,11 +222,11 @@ func (m *Machine) RaiseIRQ(line IRQLine) error {
 	}
 	h := m.irqTable[line]
 	if h == nil {
-		m.irqsDropped++
+		m.irqsDropped.Add(1)
 		m.mu.Unlock()
 		return fmt.Errorf("%w: irq %d", ErrNoHandler, line)
 	}
-	m.irqsDelivered++
+	m.irqsDelivered.Add(1)
 	m.mu.Unlock()
 	m.Meter.Charge(clock.OpInterrupt)
 	frame := &TrapFrame{Vector: -1, IRQ: line, Ctx: m.MMU.Current()}
@@ -227,9 +236,7 @@ func (m *Machine) RaiseIRQ(line IRQLine) error {
 
 // Stats reports delivery counters.
 func (m *Machine) Stats() (traps, irqs, dropped uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.trapsDelivered, m.irqsDelivered, m.irqsDropped
+	return m.trapsDelivered.Load(), m.irqsDelivered.Load(), m.irqsDropped.Load()
 }
 
 // Load reads len(buf) bytes of simulated memory at va in context ctx.
@@ -245,16 +252,24 @@ func (m *Machine) Store(ctx mmu.ContextID, va mmu.VAddr, buf []byte) error {
 }
 
 // Touch performs a zero-length access of the given kind at va: it runs
-// the full translation (and fault) machinery without moving data. Proxy
-// invocation uses Touch with AccessExec on interface slots.
+// the full translation (and fault) machinery without moving data.
 func (m *Machine) Touch(ctx mmu.ContextID, va mmu.VAddr, access mmu.Access) error {
-	_, err := m.translateWithFaults(ctx, va, access)
+	return m.TouchTagged(ctx, va, access, 0)
+}
+
+// TouchTagged is Touch with a caller-supplied token delivered in the
+// trap frame of any resulting page fault. Proxy invocation uses it
+// with AccessExec on interface entry slots: the token keys the call
+// frame, so any number of concurrent calls through the same entry page
+// each reach their own arguments and results.
+func (m *Machine) TouchTagged(ctx mmu.ContextID, va mmu.VAddr, access mmu.Access, token uint64) error {
+	_, err := m.translateWithFaults(ctx, va, access, token)
 	return err
 }
 
 func (m *Machine) access(ctx mmu.ContextID, va mmu.VAddr, buf []byte, kind mmu.Access) error {
 	for len(buf) > 0 {
-		pa, err := m.translateWithFaults(ctx, va, kind)
+		pa, err := m.translateWithFaults(ctx, va, kind, 0)
 		if err != nil {
 			return err
 		}
@@ -279,7 +294,7 @@ func (m *Machine) access(ctx mmu.ContextID, va mmu.VAddr, buf []byte, kind mmu.A
 
 // translateWithFaults translates va, delivering a page-fault trap on
 // failure and retrying once if the handler reports the fault resolved.
-func (m *Machine) translateWithFaults(ctx mmu.ContextID, va mmu.VAddr, kind mmu.Access) (mmu.PAddr, error) {
+func (m *Machine) translateWithFaults(ctx mmu.ContextID, va mmu.VAddr, kind mmu.Access, token uint64) (mmu.PAddr, error) {
 	for attempt := 0; ; attempt++ {
 		pa, err := m.MMU.Translate(ctx, va, kind)
 		if err == nil {
@@ -301,6 +316,7 @@ func (m *Machine) translateWithFaults(ctx mmu.ContextID, va mmu.VAddr, kind mmu.
 			Addr:   va,
 			Access: kind,
 			Fault:  f,
+			Token:  token,
 		})
 		if herr != nil {
 			return 0, fmt.Errorf("hw: unhandled page fault: %w", f)
@@ -336,8 +352,8 @@ func (m *Machine) AttachDevice(d Device) error {
 
 // Device returns an attached device by name, or nil.
 func (m *Machine) Device(name string) Device {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	for _, d := range m.devices {
 		if d.Name() == name {
 			return d
@@ -348,8 +364,8 @@ func (m *Machine) Device(name string) Device {
 
 // Devices returns the attached devices in attach order.
 func (m *Machine) Devices() []Device {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]Device, len(m.devices))
 	copy(out, m.devices)
 	return out
@@ -357,8 +373,8 @@ func (m *Machine) Devices() []Device {
 
 // IORegionByName returns a registered I/O region.
 func (m *Machine) IORegionByName(name string) (*IORegion, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	r, ok := m.iospaces[name]
 	return r, ok
 }

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"paramecium/internal/hw"
 	"paramecium/internal/mmu"
@@ -60,13 +61,18 @@ type pageKey struct {
 type Service struct {
 	machine *hw.Machine
 
-	mu       sync.Mutex
+	// mu guards the page, handler and grant tables. Fault dispatch —
+	// the cross-domain invocation hot path — only read-locks it, and
+	// the registered call-back runs outside the lock entirely, so any
+	// number of faults (including on the same page) dispatch
+	// concurrently and handlers may re-enter the service.
+	mu       sync.RWMutex
 	pages    map[pageKey]uint64 // mapped page -> frame
 	handlers map[pageKey]FaultHandler
 	grants   map[string][]*IOGrant // region name -> active grants
 
-	faultsResolved uint64
-	faultsUnknown  uint64
+	faultsResolved atomic.Uint64
+	faultsUnknown  atomic.Uint64
 }
 
 // New builds the service and installs it as the machine's page-fault
@@ -89,20 +95,16 @@ func (s *Service) Machine() *hw.Machine { return s.machine }
 // one is registered.
 func (s *Service) handleFault(f *hw.TrapFrame) bool {
 	key := pageKey{ctx: f.Ctx, vpn: f.Addr.VPN()}
-	s.mu.Lock()
+	s.mu.RLock()
 	h := s.handlers[key]
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if h == nil {
-		s.mu.Lock()
-		s.faultsUnknown++
-		s.mu.Unlock()
+		s.faultsUnknown.Add(1)
 		return false
 	}
 	resolved := h(f)
 	if resolved {
-		s.mu.Lock()
-		s.faultsResolved++
-		s.mu.Unlock()
+		s.faultsResolved.Add(1)
 	}
 	return resolved
 }
@@ -236,8 +238,8 @@ func (s *Service) Protect(ctx mmu.ContextID, va mmu.VAddr, perm mmu.Perm) error 
 
 // Frame reports the frame backing a managed page.
 func (s *Service) Frame(ctx mmu.ContextID, va mmu.VAddr) (uint64, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	f, ok := s.pages[pageKey{ctx: ctx, vpn: va.VPN()}]
 	return f, ok
 }
@@ -273,9 +275,7 @@ func (s *Service) UnregisterFaultHandler(ctx mmu.ContextID, va mmu.VAddr) error 
 
 // FaultStats reports resolved and unresolved fault counts.
 func (s *Service) FaultStats() (resolved, unknown uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.faultsResolved, s.faultsUnknown
+	return s.faultsResolved.Load(), s.faultsUnknown.Load()
 }
 
 // IOGrant is an active I/O space allocation: the right of a context to
@@ -330,7 +330,7 @@ func (s *Service) ReleaseIOSpace(g *IOGrant) error {
 
 // GrantCount reports the number of active grants on a region.
 func (s *Service) GrantCount(regionName string) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.grants[regionName])
 }

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"paramecium/internal/clock"
 )
@@ -180,10 +181,14 @@ var ErrExists = errors.New("mmu: context already exists")
 type MMU struct {
 	meter *clock.Meter
 
+	// current is the context register: read on every proxy fault by
+	// concurrent callers, so it lives outside the mutex. Writes still
+	// happen under mu (Switch, DestroyContext ordering).
+	current atomic.Uint32
+
 	mu       sync.Mutex
 	contexts map[ContextID]*pageTable
 	nextCtx  ContextID
-	current  ContextID
 	tlb      *tlb
 	// FlushOnSwitch selects the non-ASID behaviour in which every
 	// context switch flushes the whole TLB (ablation F5).
@@ -235,7 +240,7 @@ func (m *MMU) DestroyContext(id ContextID) error {
 	if id == KernelContext {
 		return errors.New("mmu: cannot destroy kernel context")
 	}
-	if id == m.current {
+	if id == ContextID(m.current.Load()) {
 		return errors.New("mmu: cannot destroy current context")
 	}
 	if _, ok := m.contexts[id]; !ok {
@@ -254,11 +259,10 @@ func (m *MMU) HasContext(id ContextID) bool {
 	return ok
 }
 
-// Current reports the active context.
+// Current reports the active context. Lock-free: the context register
+// is read on every cross-domain fault.
 func (m *MMU) Current() ContextID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.current
+	return ContextID(m.current.Load())
 }
 
 // Switch makes id the active context, charging the context-switch cost.
@@ -269,10 +273,10 @@ func (m *MMU) Switch(id ContextID) error {
 	if _, ok := m.contexts[id]; !ok {
 		return ErrNoContext
 	}
-	if id == m.current {
+	if id == ContextID(m.current.Load()) {
 		return nil
 	}
-	m.current = id
+	m.current.Store(uint32(id))
 	m.meter.Charge(clock.OpCtxSwitch)
 	if m.flushOnSwitch {
 		m.tlb.flush()
@@ -355,7 +359,7 @@ func (m *MMU) Translate(id ContextID, va VAddr, access Access) (PAddr, error) {
 func (m *MMU) TranslateCurrent(va VAddr, access Access) (PAddr, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.translateLocked(m.current, va, access)
+	return m.translateLocked(ContextID(m.current.Load()), va, access)
 }
 
 func (m *MMU) translateLocked(id ContextID, va VAddr, access Access) (PAddr, error) {

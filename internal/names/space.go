@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"paramecium/internal/clock"
 	"paramecium/internal/obj"
@@ -13,18 +14,28 @@ import (
 // instances, managed by the directory service in the nucleus. Every
 // lookup charges one hop per path component, so experiments can
 // measure lookup cost versus depth (experiment F4).
+//
+// The tree is copy-on-write: lookups (Bind, List, Walk) read an
+// atomically published immutable snapshot and take no lock at all, so
+// hot-path name resolution scales across cores. Mutations (Register,
+// Replace, Unregister) serialize on a writer lock, path-copy the
+// affected directories, and publish a new root.
 type Space struct {
 	meter *clock.Meter
 
-	mu   sync.RWMutex
-	root *dir
+	wmu  sync.Mutex          // serializes mutations
+	root atomic.Pointer[dir] // current published snapshot
 }
 
+// dir is one directory level. Once a dir has been published via
+// Space.root it is immutable; mutations clone every dir on the path
+// they change.
 type dir struct {
 	children map[string]*entry
 }
 
 // entry is either a subdirectory or an object handle (never both).
+// Entries are immutable after publication.
 type entry struct {
 	dir  *dir
 	inst obj.Instance
@@ -32,9 +43,54 @@ type entry struct {
 
 func newDir() *dir { return &dir{children: make(map[string]*entry)} }
 
+// clone returns a mutable copy of d with the children map duplicated.
+func (d *dir) clone() *dir {
+	nd := &dir{children: make(map[string]*entry, len(d.children)+1)}
+	for k, v := range d.children {
+		nd.children[k] = v
+	}
+	return nd
+}
+
+// clonePath is the copy-on-write walk shared by all mutations: it
+// clones root and every directory down to the parent of parts' leaf,
+// returning the new root and that cloned parent. With create, missing
+// intermediate directories are created (Register); otherwise a
+// missing or non-directory component fails with ErrNotFound
+// (Replace, Unregister). An existing non-directory component under
+// create fails with ErrNotDir. On error, nothing is published.
+func clonePath(root *dir, parts []string, path string, create bool) (newRoot, parent *dir, err error) {
+	newRoot = root.clone()
+	d := newRoot
+	for _, c := range parts[:len(parts)-1] {
+		e, ok := d.children[c]
+		if !ok {
+			if !create {
+				return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, path)
+			}
+			nd := newDir()
+			d.children[c] = &entry{dir: nd}
+			d = nd
+			continue
+		}
+		if e.dir == nil {
+			if !create {
+				return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, path)
+			}
+			return nil, nil, fmt.Errorf("%w: %q under %q", ErrNotDir, c, path)
+		}
+		nd := e.dir.clone()
+		d.children[c] = &entry{dir: nd}
+		d = nd
+	}
+	return newRoot, d, nil
+}
+
 // NewSpace builds an empty name space. meter may be nil.
 func NewSpace(meter *clock.Meter) *Space {
-	return &Space{meter: meter, root: newDir()}
+	s := &Space{meter: meter}
+	s.root.Store(newDir())
+	return s
 }
 
 func (s *Space) chargeHops(n int) {
@@ -57,25 +113,18 @@ func (s *Space) Register(path string, inst obj.Instance) error {
 	if len(parts) == 0 {
 		return fmt.Errorf("%w: cannot register at root", ErrBadPath)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	d := s.root
-	for _, c := range parts[:len(parts)-1] {
-		e, ok := d.children[c]
-		if !ok {
-			e = &entry{dir: newDir()}
-			d.children[c] = e
-		}
-		if e.dir == nil {
-			return fmt.Errorf("%w: %q under %q", ErrNotDir, c, path)
-		}
-		d = e.dir
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	root, d, err := clonePath(s.root.Load(), parts, path, true)
+	if err != nil {
+		return err
 	}
 	leaf := parts[len(parts)-1]
 	if _, dup := d.children[leaf]; dup {
 		return fmt.Errorf("%w: %q", ErrExists, path)
 	}
 	d.children[leaf] = &entry{inst: inst}
+	s.root.Store(root)
 	return nil
 }
 
@@ -92,9 +141,14 @@ func (s *Space) Replace(path string, inst obj.Instance) (obj.Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, err := s.lookupLocked(parts)
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("%w: root is a directory", ErrIsDir)
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	// Validate against the current snapshot first, so failures leave
+	// the published tree untouched.
+	e, err := lookup(s.root.Load(), parts)
 	if err != nil {
 		return nil, err
 	}
@@ -102,7 +156,12 @@ func (s *Space) Replace(path string, inst obj.Instance) (obj.Instance, error) {
 		return nil, fmt.Errorf("%w: %q", ErrIsDir, path)
 	}
 	prev := e.inst
-	e.inst = inst
+	root, d, err := clonePath(s.root.Load(), parts, path, false)
+	if err != nil {
+		return nil, err
+	}
+	d.children[parts[len(parts)-1]] = &entry{inst: inst}
+	s.root.Store(root)
 	return prev, nil
 }
 
@@ -116,15 +175,11 @@ func (s *Space) Unregister(path string) error {
 	if len(parts) == 0 {
 		return fmt.Errorf("%w: cannot unregister root", ErrBadPath)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	d := s.root
-	for _, c := range parts[:len(parts)-1] {
-		e, ok := d.children[c]
-		if !ok || e.dir == nil {
-			return fmt.Errorf("%w: %q", ErrNotFound, path)
-		}
-		d = e.dir
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	root, d, err := clonePath(s.root.Load(), parts, path, false)
+	if err != nil {
+		return err
 	}
 	leaf := parts[len(parts)-1]
 	e, ok := d.children[leaf]
@@ -135,20 +190,19 @@ func (s *Space) Unregister(path string) error {
 		return fmt.Errorf("names: directory %q not empty", path)
 	}
 	delete(d.children, leaf)
+	s.root.Store(root)
 	return nil
 }
 
 // Bind resolves path to the registered instance, charging one hop per
-// component.
+// component. Bind is lock-free: it walks the current snapshot.
 func (s *Space) Bind(path string) (obj.Instance, error) {
 	parts, err := Split(path)
 	if err != nil {
 		return nil, err
 	}
 	s.chargeHops(len(parts))
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, err := s.lookupLocked(parts)
+	e, err := lookup(s.root.Load(), parts)
 	if err != nil {
 		return nil, err
 	}
@@ -158,11 +212,13 @@ func (s *Space) Bind(path string) (obj.Instance, error) {
 	return e.inst, nil
 }
 
-func (s *Space) lookupLocked(parts []string) (*entry, error) {
+// lookup walks one snapshot; it needs no locking because published
+// trees are immutable.
+func lookup(root *dir, parts []string) (*entry, error) {
 	if len(parts) == 0 {
 		return nil, fmt.Errorf("%w: root is a directory", ErrIsDir)
 	}
-	d := s.root
+	d := root
 	for i, c := range parts {
 		e, ok := d.children[c]
 		if !ok {
@@ -197,9 +253,7 @@ func (s *Space) List(path string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	d := s.root
+	d := s.root.Load()
 	for _, c := range parts {
 		e, ok := d.children[c]
 		if !ok {
@@ -222,10 +276,10 @@ func (s *Space) List(path string) ([]string, error) {
 }
 
 // Walk visits every registered instance in depth-first name order.
+// The walk sees one consistent snapshot: mutations published during
+// the walk are not observed.
 func (s *Space) Walk(fn func(path string, inst obj.Instance) error) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return walkDir(s.root, "", fn)
+	return walkDir(s.root.Load(), "", fn)
 }
 
 func walkDir(d *dir, prefix string, fn func(string, obj.Instance) error) error {

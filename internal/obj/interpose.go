@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"paramecium/internal/clock"
 )
@@ -15,12 +16,25 @@ import (
 // handle in the name space with an interposer transparently puts the
 // agent on every future binding — the basis of the paper's monitoring
 // and debugging tools.
+//
+// Like the name space, the interposer is copy-on-write: calls read an
+// atomically published immutable snapshot of the wrap set, meter and
+// extra interfaces, so the invocation path takes no lock no matter how
+// many goroutines share it. Wrap, SetMeter and AddExtraInterface
+// serialize among themselves and publish a new snapshot; a mutation
+// made at any time — before or after Iface or Resolve — is observed by
+// the very next call.
 type Interposer struct {
 	class  string
 	target Instance
-	meter  *clock.Meter
 
-	mu     sync.RWMutex
+	state atomic.Pointer[ipState]
+	wmu   sync.Mutex // serializes mutations
+}
+
+// ipState is one immutable snapshot of the interposer's configuration.
+type ipState struct {
+	meter  *clock.Meter
 	wraps  map[string]map[string]WrapFunc // iface -> method -> wrapper
 	extras map[string]Invoker             // additional interfaces (the superset part)
 }
@@ -33,12 +47,12 @@ type WrapFunc func(next Method, args ...any) ([]any, error)
 // NewInterposer wraps target. The interposer initially forwards
 // everything; use Wrap and AddExtraInterface to specialize it.
 func NewInterposer(class string, target Instance) *Interposer {
-	return &Interposer{
-		class:  class,
-		target: target,
-		wraps:  make(map[string]map[string]WrapFunc),
-		extras: make(map[string]Invoker),
-	}
+	ip := &Interposer{class: class, target: target}
+	ip.state.Store(&ipState{
+		wraps:  map[string]map[string]WrapFunc{},
+		extras: map[string]Invoker{},
+	})
+	return ip
 }
 
 // Target returns the wrapped instance.
@@ -48,9 +62,11 @@ func (ip *Interposer) Target() Instance { return ip.target }
 // invocation passing through it, so interposition layers are visible
 // in virtual time (experiment T1).
 func (ip *Interposer) SetMeter(m *clock.Meter) {
-	ip.mu.Lock()
-	ip.meter = m
-	ip.mu.Unlock()
+	ip.wmu.Lock()
+	defer ip.wmu.Unlock()
+	st := *ip.state.Load()
+	st.meter = m
+	ip.state.Store(&st)
 }
 
 // Class implements Instance.
@@ -65,14 +81,21 @@ func (ip *Interposer) Wrap(ifaceName, method string, w WrapFunc) error {
 	if _, ok := target.Decl().Method(method); !ok {
 		return fmt.Errorf("%w: %q.%s", ErrNoMethod, ifaceName, method)
 	}
-	ip.mu.Lock()
-	defer ip.mu.Unlock()
-	m := ip.wraps[ifaceName]
-	if m == nil {
-		m = make(map[string]WrapFunc)
-		ip.wraps[ifaceName] = m
+	ip.wmu.Lock()
+	defer ip.wmu.Unlock()
+	st := *ip.state.Load()
+	wraps := make(map[string]map[string]WrapFunc, len(st.wraps)+1)
+	for n, m := range st.wraps {
+		wraps[n] = m
 	}
-	m[method] = w
+	methods := make(map[string]WrapFunc, len(wraps[ifaceName])+1)
+	for n, f := range wraps[ifaceName] {
+		methods[n] = f
+	}
+	methods[method] = w
+	wraps[ifaceName] = methods
+	st.wraps = wraps
+	ip.state.Store(&st)
 	return nil
 }
 
@@ -84,12 +107,19 @@ func (ip *Interposer) AddExtraInterface(iv Invoker) error {
 	if _, ok := ip.target.Iface(name); ok {
 		return fmt.Errorf("obj: %q already exported by target; use Wrap", name)
 	}
-	ip.mu.Lock()
-	defer ip.mu.Unlock()
-	if _, dup := ip.extras[name]; dup {
+	ip.wmu.Lock()
+	defer ip.wmu.Unlock()
+	st := *ip.state.Load()
+	if _, dup := st.extras[name]; dup {
 		return fmt.Errorf("obj: extra interface %q already added", name)
 	}
-	ip.extras[name] = iv
+	extras := make(map[string]Invoker, len(st.extras)+1)
+	for n, e := range st.extras {
+		extras[n] = e
+	}
+	extras[name] = iv
+	st.extras = extras
+	ip.state.Store(&st)
 	return nil
 }
 
@@ -97,48 +127,45 @@ func (ip *Interposer) AddExtraInterface(iv Invoker) error {
 // interfaces and the extras, sorted.
 func (ip *Interposer) InterfaceNames() []string {
 	names := ip.target.InterfaceNames()
-	ip.mu.RLock()
-	for n := range ip.extras {
+	for n := range ip.state.Load().extras {
 		names = append(names, n)
 	}
-	ip.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }
 
 // Iface implements Instance.
 func (ip *Interposer) Iface(name string) (Invoker, bool) {
-	ip.mu.RLock()
-	if extra, ok := ip.extras[name]; ok {
-		ip.mu.RUnlock()
+	if extra, ok := ip.state.Load().extras[name]; ok {
 		return extra, true
 	}
-	wraps := ip.wraps[name]
-	meter := ip.meter
-	ip.mu.RUnlock()
 	target, ok := ip.target.Iface(name)
 	if !ok {
 		return nil, false
 	}
-	return &interposedIface{target: target, wraps: wraps, meter: meter}, true
+	return &interposedIface{ip: ip, name: name, target: target}, true
 }
 
 // interposedIface presents one interface of the target with wrappers
-// applied. Unwrapped methods forward directly.
+// applied. Unwrapped methods forward directly. It keeps no wrap-set
+// snapshot of its own: every call loads the interposer's current
+// state — one atomic load, no lock — so a Wrap or SetMeter installed
+// at any time is observed by the very next call, from any goroutine.
 type interposedIface struct {
+	ip     *Interposer
+	name   string
 	target Invoker
-	wraps  map[string]WrapFunc
-	meter  *clock.Meter
 }
 
 func (ii *interposedIface) Decl() *InterfaceDecl { return ii.target.Decl() }
 func (ii *interposedIface) State() any           { return ii.target.State() }
 
 func (ii *interposedIface) Invoke(method string, args ...any) ([]any, error) {
-	if ii.meter != nil {
-		ii.meter.Charge(clock.OpIndirect)
+	st := ii.ip.state.Load()
+	if st.meter != nil {
+		st.meter.Charge(clock.OpIndirect)
 	}
-	if w, ok := ii.wraps[method]; ok {
+	if w, ok := st.wraps[ii.name][method]; ok {
 		next := func(a ...any) ([]any, error) {
 			return ii.target.Invoke(method, a...)
 		}
@@ -149,24 +176,20 @@ func (ii *interposedIface) Invoke(method string, args ...any) ([]any, error) {
 
 // Resolve implements Invoker. The target's handle is resolved once,
 // so repeated calls pay neither the interposer's nor the target's
-// name lookup; the wrapper is looked up per call from the same wrap
-// set Invoke consults, so a Wrap installed after Resolve is observed
-// by live handles exactly as it is by string invocation. An
-// interface with no wrap set and no meter resolves straight through
-// to the target's handle.
+// name lookup; the wrapper is looked up per call from the same state
+// Invoke consults, so a Wrap installed after Resolve is observed by
+// live handles exactly as it is by string invocation.
 func (ii *interposedIface) Resolve(method string) (MethodHandle, error) {
 	th, err := ii.target.Resolve(method)
 	if err != nil {
 		return MethodHandle{}, err
 	}
-	if ii.wraps == nil && ii.meter == nil {
-		return th, nil
-	}
 	return MethodHandle{decl: th.decl, call: func(args ...any) ([]any, error) {
-		if ii.meter != nil {
-			ii.meter.Charge(clock.OpIndirect)
+		st := ii.ip.state.Load()
+		if st.meter != nil {
+			st.meter.Charge(clock.OpIndirect)
 		}
-		if w, ok := ii.wraps[method]; ok {
+		if w, ok := st.wraps[ii.name][method]; ok {
 			return w(th.Call, args...)
 		}
 		return th.call(args...)

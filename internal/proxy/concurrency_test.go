@@ -1,0 +1,261 @@
+package proxy
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"paramecium/internal/clock"
+	"paramecium/internal/obj"
+)
+
+// atomicCounterDecl exports one method whose implementation is itself
+// safe for concurrent invocation, so tests exercise only the proxy's
+// own concurrency.
+var atomicCounterDecl = obj.MustInterfaceDecl("test.atomic.v1",
+	obj.MethodDecl{Name: "inc", NumIn: 1, NumOut: 1},
+)
+
+func newAtomicCounter(meter *clock.Meter) (*obj.Object, *atomic.Int64) {
+	o := obj.New("atomic-counter", meter)
+	n := new(atomic.Int64)
+	bi, err := o.AddInterface(atomicCounterDecl, n)
+	if err != nil {
+		panic(err)
+	}
+	bi.MustBind("inc", func(args ...any) ([]any, error) {
+		return []any{n.Add(int64(args[0].(int)))}, nil
+	})
+	return o, n
+}
+
+// TestConcurrentCallsSharedHandle drives many goroutines through ONE
+// MethodHandle of one proxy interface: the exact sharing pattern the
+// per-call frame table exists for. Every call must observe its own
+// results; no update may be lost.
+func TestConcurrentCallsSharedHandle(t *testing.T) {
+	f, svc, m := setup()
+	serverCtx := svc.NewDomain()
+	clientCtx := svc.NewDomain()
+	target, n := newAtomicCounter(m.Meter)
+	p, err := f.New(clientCtx, serverCtx, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, _ := p.Iface("test.atomic.v1")
+	inc, err := iv.Resolve("inc")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 16
+	const callsEach = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < callsEach; i++ {
+				res, err := inc.Call(1)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res[0].(int64) < 1 {
+					errs <- errors.New("result from another call's frame")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := n.Load(); got != goroutines*callsEach {
+		t.Fatalf("lost updates: counter = %d, want %d", got, goroutines*callsEach)
+	}
+	if got := p.Calls(); got != goroutines*callsEach {
+		t.Fatalf("Calls() = %d, want %d", got, goroutines*callsEach)
+	}
+}
+
+// TestConcurrentInvokeAndResolve mixes the string-keyed path, handle
+// resolution and handle calls on one interface concurrently.
+func TestConcurrentInvokeAndResolve(t *testing.T) {
+	f, svc, m := setup()
+	serverCtx := svc.NewDomain()
+	clientCtx := svc.NewDomain()
+	target, n := newAtomicCounter(m.Meter)
+	p, err := f.New(clientCtx, serverCtx, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, _ := p.Iface("test.atomic.v1")
+
+	const goroutines = 8
+	const callsEach = 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < callsEach; i++ {
+				if g%2 == 0 {
+					if _, err := iv.Invoke("inc", 1); err != nil {
+						t.Error(err)
+						return
+					}
+					continue
+				}
+				h, err := iv.Resolve("inc")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := h.Call(1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := n.Load(); got != goroutines*callsEach {
+		t.Fatalf("lost updates: counter = %d, want %d", got, goroutines*callsEach)
+	}
+}
+
+// TestProxyCloseRace is the regression test for the close/call race:
+// callers racing with Close must either complete normally or fail
+// with ErrClosed — never ErrNoDelivery, which before the per-call
+// frame redesign could leak out when Close unregistered the fault
+// handler between the caller's closed-check and its entry-page touch.
+func TestProxyCloseRace(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		f, svc, m := setup()
+		serverCtx := svc.NewDomain()
+		clientCtx := svc.NewDomain()
+		target, _ := newAtomicCounter(m.Meter)
+		p, err := f.New(clientCtx, serverCtx, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iv, _ := p.Iface("test.atomic.v1")
+		inc, err := iv.Resolve("inc")
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 20; i++ {
+					_, err := inc.Call(1)
+					if err == nil || errors.Is(err, ErrClosed) {
+						continue
+					}
+					t.Errorf("round %d: call racing Close: %v", round, err)
+					return
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := p.Close(); err != nil {
+				t.Errorf("round %d: close: %v", round, err)
+			}
+		}()
+		close(start)
+		wg.Wait()
+
+		// After Close every call must fail with ErrClosed.
+		if _, err := inc.Call(1); !errors.Is(err, ErrClosed) {
+			t.Fatalf("call after close = %v, want ErrClosed", err)
+		}
+	}
+}
+
+// TestConcurrentCloseIdempotent: exactly one Close wins; the rest get
+// ErrClosed.
+func TestConcurrentCloseIdempotent(t *testing.T) {
+	f, svc, m := setup()
+	serverCtx := svc.NewDomain()
+	clientCtx := svc.NewDomain()
+	target, _ := newAtomicCounter(m.Meter)
+	p, err := f.New(clientCtx, serverCtx, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const closers = 8
+	var wins atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < closers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			switch err := p.Close(); {
+			case err == nil:
+				wins.Add(1)
+			case errors.Is(err, ErrClosed):
+			default:
+				t.Errorf("close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if wins.Load() != 1 {
+		t.Fatalf("%d Close calls succeeded, want exactly 1", wins.Load())
+	}
+}
+
+// TestConcurrentCallsTwoProxies: independent proxies built from one
+// factory share the frame table; their calls must not cross.
+func TestConcurrentCallsTwoProxies(t *testing.T) {
+	f, svc, m := setup()
+	serverCtx := svc.NewDomain()
+	clientA := svc.NewDomain()
+	clientB := svc.NewDomain()
+	targetA, nA := newAtomicCounter(m.Meter)
+	targetB, nB := newAtomicCounter(m.Meter)
+	pA, err := f.New(clientA, serverCtx, targetA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pB, err := f.New(clientB, serverCtx, targetB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivA, _ := pA.Iface("test.atomic.v1")
+	ivB, _ := pB.Iface("test.atomic.v1")
+	incA, _ := ivA.Resolve("inc")
+	incB, _ := ivB.Resolve("inc")
+
+	const callsEach = 300
+	var wg sync.WaitGroup
+	for _, h := range []obj.MethodHandle{incA, incB, incA, incB} {
+		wg.Add(1)
+		go func(h obj.MethodHandle) {
+			defer wg.Done()
+			for i := 0; i < callsEach; i++ {
+				if _, err := h.Call(1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(h)
+	}
+	wg.Wait()
+	if nA.Load() != 2*callsEach || nB.Load() != 2*callsEach {
+		t.Fatalf("cross-talk: A=%d B=%d, want %d each", nA.Load(), nB.Load(), 2*callsEach)
+	}
+}

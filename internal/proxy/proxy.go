@@ -10,6 +10,12 @@
 // A Proxy satisfies obj.Instance, so the directory service can hand it
 // out exactly where a local object would appear; callers cannot tell
 // the difference except in cycles.
+//
+// The invocation plane is fully concurrent: every call carries its own
+// pooled call frame, keyed by a token threaded through the trap frame,
+// so any number of goroutines may call through one proxy — even the
+// same method of the same interface — without serializing on anything
+// wider than the MMU's own short critical sections.
 package proxy
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"paramecium/internal/clock"
 	"paramecium/internal/hw"
@@ -35,11 +42,100 @@ var (
 // caller's address space when the factory is built with base 0.
 const DefaultEntryBase mmu.VAddr = 0x7000_0000
 
+// callFrame carries one in-flight cross-domain call: the kernel half
+// (the fault handler) reads method and args and writes res, err and
+// done; the caller half owns the frame before and after the fault.
+// Frames are pooled — steady-state invocation allocates nothing for
+// the call machinery itself.
+type callFrame struct {
+	method string
+	args   []any
+	res    []any
+	err    error
+	done   bool
+}
+
+var framePool = sync.Pool{New: func() any { return new(callFrame) }}
+
+func newFrame(method string, args []any) *callFrame {
+	fr := framePool.Get().(*callFrame)
+	fr.method, fr.args = method, args
+	fr.res, fr.err, fr.done = nil, nil, false
+	return fr
+}
+
+func putFrame(fr *callFrame) {
+	// Drop value references so pooled frames do not pin caller data.
+	fr.method, fr.args, fr.res, fr.err, fr.done = "", nil, nil, nil, false
+	framePool.Put(fr)
+}
+
+// frameShards is the number of lock shards in a frame table. Power of
+// two so the token-to-shard map is a mask.
+const frameShards = 32
+
+// frameTable maps live call tokens to their frames. It is sharded by
+// token so concurrent calls — the steady state of the invocation
+// plane — rarely contend on the same lock. Tokens start at 1; token 0
+// in a trap frame means "not a proxy call".
+type frameTable struct {
+	next   atomic.Uint64
+	shards [frameShards]frameShard
+}
+
+type frameShard struct {
+	mu sync.Mutex
+	m  map[uint64]*callFrame
+	// Pad the shard to a 64-byte stride so adjacent shards' locks do
+	// not share a cache line.
+	_ [48]byte
+}
+
+func (t *frameTable) shard(token uint64) *frameShard {
+	return &t.shards[token&(frameShards-1)]
+}
+
+// put registers fr under a fresh token and returns the token.
+func (t *frameTable) put(fr *callFrame) uint64 {
+	token := t.next.Add(1)
+	s := t.shard(token)
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[uint64]*callFrame)
+	}
+	s.m[token] = fr
+	s.mu.Unlock()
+	return token
+}
+
+// get returns the frame registered under token, or nil.
+func (t *frameTable) get(token uint64) *callFrame {
+	if token == 0 {
+		return nil
+	}
+	s := t.shard(token)
+	s.mu.Lock()
+	fr := s.m[token]
+	s.mu.Unlock()
+	return fr
+}
+
+// drop unregisters token.
+func (t *frameTable) drop(token uint64) {
+	s := t.shard(token)
+	s.mu.Lock()
+	delete(s.m, token)
+	s.mu.Unlock()
+}
+
 // Factory creates proxies, managing the entry-page address space of
-// each client context.
+// each client context. All proxies of one factory share its frame
+// table; the per-page fault handler uses the trap frame's token to
+// find the calling goroutine's own frame.
 type Factory struct {
-	svc  *mem.Service
-	base mmu.VAddr
+	svc    *mem.Service
+	base   mmu.VAddr
+	frames frameTable
 
 	mu     sync.Mutex
 	nextVA map[mmu.ContextID]mmu.VAddr
@@ -91,7 +187,7 @@ func (f *Factory) New(callerCtx, targetCtx mmu.ContextID, target obj.Instance) (
 		// the same numbering every bound interface dispatches by.
 		ei := &entryIface{proxy: p, target: iv, pageVA: pageVA}
 		if err := f.svc.RegisterFaultHandler(callerCtx, pageVA, ei.handleFault); err != nil {
-			p.closeLocked()
+			_ = p.Close()
 			return nil, fmt.Errorf("proxy: entry page for %q: %w", name, err)
 		}
 		p.ifaces[name] = ei
@@ -100,7 +196,10 @@ func (f *Factory) New(callerCtx, targetCtx mmu.ContextID, target obj.Instance) (
 }
 
 // Proxy is a cross-domain stand-in for an object in another protection
-// domain.
+// domain. A proxy is safe for unbounded concurrent use: the interface
+// map is immutable after construction, the call path keeps its state
+// in per-call frames, and close/call coordination is a single atomic
+// flag.
 type Proxy struct {
 	factory   *Factory
 	class     string
@@ -108,10 +207,9 @@ type Proxy struct {
 	targetCtx mmu.ContextID
 	target    obj.Instance
 
-	mu     sync.Mutex
-	closed bool
-	ifaces map[string]*entryIface
-	calls  uint64
+	closed atomic.Bool
+	calls  atomic.Uint64
+	ifaces map[string]*entryIface // immutable after New
 }
 
 // Class implements obj.Instance. Proxies are transparent: they present
@@ -120,8 +218,6 @@ func (p *Proxy) Class() string { return p.class }
 
 // InterfaceNames implements obj.Instance.
 func (p *Proxy) InterfaceNames() []string {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	out := make([]string, 0, len(p.ifaces))
 	for n := range p.ifaces {
 		out = append(out, n)
@@ -132,8 +228,6 @@ func (p *Proxy) InterfaceNames() []string {
 
 // Iface implements obj.Instance.
 func (p *Proxy) Iface(name string) (obj.Invoker, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	ei, ok := p.ifaces[name]
 	if !ok {
 		return nil, false
@@ -143,48 +237,32 @@ func (p *Proxy) Iface(name string) (obj.Invoker, bool) {
 
 // Calls reports the number of cross-domain invocations performed.
 func (p *Proxy) Calls() uint64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.calls
+	return p.calls.Load()
 }
 
 // TargetContext reports the protection domain of the real object.
 func (p *Proxy) TargetContext() mmu.ContextID { return p.targetCtx }
 
-// Close releases the proxy's entry pages and fault handlers.
+// Close releases the proxy's entry pages and fault handlers. Calls
+// racing with Close either complete normally or fail with ErrClosed.
 func (p *Proxy) Close() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.closeLocked()
-}
-
-func (p *Proxy) closeLocked() error {
-	if p.closed {
+	if !p.closed.CompareAndSwap(false, true) {
 		return ErrClosed
 	}
-	p.closed = true
 	for _, ei := range p.ifaces {
 		_ = p.factory.svc.UnregisterFaultHandler(p.callerCtx, ei.pageVA)
 	}
 	return nil
 }
 
-// entryIface is one interface's entry page plus its live call state.
+// entryIface is one interface's entry page. It holds no per-call
+// state: every invocation's frame lives in the factory's frame table
+// for exactly the duration of its fault, so concurrent calls through
+// the same interface — or the same method — never serialize here.
 type entryIface struct {
 	proxy  *Proxy
 	target obj.Invoker
 	pageVA mmu.VAddr
-
-	mu      sync.Mutex // serializes calls through this interface
-	pending *pendingCall
-}
-
-type pendingCall struct {
-	method string
-	args   []any
-	res    []any
-	err    error
-	done   bool
 }
 
 // Decl implements obj.Invoker.
@@ -210,7 +288,8 @@ func (e *entryIface) Invoke(method string, args ...any) ([]any, error) {
 
 // Resolve implements obj.Invoker: the entry slot's address is
 // computed once, and the returned handle faults straight into the
-// kernel on every Call with no per-call method lookup.
+// kernel on every Call with no per-call method lookup. One handle may
+// be shared by any number of goroutines.
 func (e *entryIface) Resolve(method string) (obj.MethodHandle, error) {
 	md, ok := e.target.Decl().Method(method)
 	if !ok {
@@ -222,65 +301,71 @@ func (e *entryIface) Resolve(method string) (obj.MethodHandle, error) {
 }
 
 // fault performs the cross-domain call for one pre-looked-up method:
-// it references the method's entry slot, taking the page fault that
-// drives the kernel's call handler.
+// it registers a per-call frame, then references the method's entry
+// slot, taking the page fault that drives the kernel's call handler.
+// The frame's token rides in the trap frame, so the handler resolves
+// this call's frame no matter how many calls are in flight on the
+// same page.
 func (e *entryIface) fault(md *obj.MethodDecl, args []any) ([]any, error) {
 	p := e.proxy
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	if p.closed.Load() {
 		return nil, ErrClosed
 	}
-	p.mu.Unlock()
-
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	call := &pendingCall{method: md.Name, args: args}
-	e.pending = call
-	defer func() { e.pending = nil }()
+	fr := newFrame(md.Name, args)
+	token := p.factory.frames.put(fr)
+	// Deferred so a panicking target method cannot leak the table
+	// entry: by the time the defer runs, nothing references the frame.
+	defer func() {
+		p.factory.frames.drop(token)
+		putFrame(fr)
+	}()
 
 	// Touch the entry slot: unmapped, so this page-faults into the
 	// kernel, whose per-page handler performs the actual invocation.
 	slotVA := e.pageVA + mmu.VAddr(md.Slot()*8)
 	machine := p.factory.svc.Machine()
-	_ = machine.Touch(p.callerCtx, slotVA, mmu.AccessExec)
+	_ = machine.TouchTagged(p.callerCtx, slotVA, mmu.AccessExec, token)
 
-	if !call.done {
+	if !fr.done {
+		// The handler never saw the call. Either the proxy was closed
+		// (its fault handler unregistered) between the closed check
+		// and the touch, or the fault genuinely went astray.
+		if p.closed.Load() {
+			return nil, ErrClosed
+		}
 		return nil, fmt.Errorf("%w: %q.%s", ErrNoDelivery, e.target.Decl().Name, md.Name)
 	}
-	p.mu.Lock()
-	p.calls++
-	p.mu.Unlock()
-	return call.res, call.err
+	p.calls.Add(1)
+	return fr.res, fr.err
 }
 
 // handleFault is the per-page fault handler: the kernel half of the
 // cross-domain call. It maps in the arguments (charged as word
 // copies), switches to the target's context, invokes the real method,
-// switches back, and copies out the results.
+// switches back, and copies out the results. The handler is reentrant:
+// concurrent faults on the same entry page dispatch independently,
+// each finding its own frame by the trap frame's token.
 func (e *entryIface) handleFault(f *hw.TrapFrame) bool {
-	e.proxy.mu.Lock()
-	closed := e.proxy.closed
-	e.proxy.mu.Unlock()
-	if closed {
+	p := e.proxy
+	if p.closed.Load() {
 		return false
 	}
-	call := e.pending
+	call := p.factory.frames.get(f.Token)
 	if call == nil {
 		// A stray touch of the entry page (not a proxy call): leave
 		// the fault unresolved.
 		return false
 	}
-	machine := e.proxy.factory.svc.Machine()
+	machine := p.factory.svc.Machine()
 	meter := machine.Meter
 
 	// Map in arguments.
 	meter.ChargeN(clock.OpCopyWord, wordsOf(call.args))
 
 	cur := machine.MMU.Current()
-	switched := cur != e.proxy.targetCtx
+	switched := cur != p.targetCtx
 	if switched {
-		if err := machine.MMU.Switch(e.proxy.targetCtx); err != nil {
+		if err := machine.MMU.Switch(p.targetCtx); err != nil {
 			call.err = fmt.Errorf("proxy: target domain gone: %w", err)
 			call.done = true
 			return false
@@ -295,8 +380,8 @@ func (e *entryIface) handleFault(f *hw.TrapFrame) bool {
 	meter.ChargeN(clock.OpCopyWord, wordsOf(call.res))
 	call.done = true
 	// The entry page stays unmapped (the next call must fault again),
-	// so the fault is reported as unresolved; Invoke picks the results
-	// out of the call record.
+	// so the fault is reported as unresolved; fault picks the results
+	// out of the call frame.
 	return false
 }
 

@@ -1,0 +1,74 @@
+package threads
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"paramecium/internal/clock"
+)
+
+// TestConcurrentSpawn: thread creation may come from any host
+// goroutine (the concurrent invocation plane promotes proto-threads
+// from parallel fault handlers), so Spawn must be safe to call
+// concurrently and every spawned thread must run exactly once.
+func TestConcurrentSpawn(t *testing.T) {
+	s := NewScheduler(clock.NewMeter(clock.DefaultCosts()))
+	const spawners = 8
+	const each = 25
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < spawners; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				s.Spawn("worker", func(*Thread) { ran.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	s.RunUntilIdle()
+	if got := ran.Load(); got != spawners*each {
+		t.Fatalf("%d threads ran, want %d", got, spawners*each)
+	}
+	if live := s.LiveCount(); live != 0 {
+		t.Fatalf("LiveCount = %d after idle, want 0", live)
+	}
+}
+
+// TestConcurrentPopUpProto: proto-thread pop-ups from parallel event
+// sources. Non-blocking handlers must all complete inline with no
+// promotions charged.
+func TestConcurrentPopUpProto(t *testing.T) {
+	meter := clock.NewMeter(clock.DefaultCosts())
+	s := NewScheduler(meter)
+	const dispatchers = 8
+	const each = 25
+	var ran atomic.Int64
+	var inline atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < dispatchers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				_, completed := s.PopUpProto("popup", func(*Thread) { ran.Add(1) })
+				if completed {
+					inline.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s.RunUntilIdle()
+	if got := ran.Load(); got != dispatchers*each {
+		t.Fatalf("%d handlers ran, want %d", got, dispatchers*each)
+	}
+	if got := inline.Load(); got != dispatchers*each {
+		t.Fatalf("%d handlers completed inline, want all %d", got, dispatchers*each)
+	}
+	if promoted := meter.Count(clock.OpPromote); promoted != 0 {
+		t.Fatalf("%d promotions charged for non-blocking handlers", promoted)
+	}
+}

@@ -123,7 +123,9 @@ func BenchmarkP0_SerializedProxyCall(b *testing.B) {
 			_, err := inc.Call()
 			mu.Unlock()
 			if err != nil {
-				b.Fatal(err)
+				// b.Fatal is only safe from the benchmark goroutine.
+				b.Error(err)
+				return
 			}
 		}
 	})
@@ -139,7 +141,9 @@ func BenchmarkP1_ParallelProxyCall(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			if _, err := inc.Call(); err != nil {
-				b.Fatal(err)
+				// b.Fatal is only safe from the benchmark goroutine.
+				b.Error(err)
+				return
 			}
 		}
 	})
@@ -159,7 +163,9 @@ func BenchmarkP2_ParallelLookup(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			if _, err := w.K.RootView.Bind("/a/b/c/d"); err != nil {
-				b.Fatal(err)
+				// b.Fatal is only safe from the benchmark goroutine.
+				b.Error(err)
+				return
 			}
 		}
 	})
@@ -187,7 +193,9 @@ func BenchmarkP3_ParallelInvokeHandle(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			if _, err := inc.Call(); err != nil {
-				b.Fatal(err)
+				// b.Fatal is only safe from the benchmark goroutine.
+				b.Error(err)
+				return
 			}
 		}
 	})

@@ -40,11 +40,20 @@ type Result struct {
 	CyclesPerOp float64 `json:"cycles_per_op,omitempty"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+
+	// iterations is the run's actual iteration count (the second
+	// column of the bench line), used only to cross-check a claimed
+	// "Nx" -benchtime; it is not part of the JSON schema.
+	iterations uint64
 }
 
-// Report is the BENCH_invoke.json schema.
+// Report is the BENCH_invoke.json schema. BenchTime records the
+// -benchtime the run used: cycles/op is only comparable between runs
+// at the same iteration count, because fixed per-run setup cost
+// amortizes over N, so the gate refuses to compare across a mismatch.
 type Report struct {
 	GoMaxProcs int                `json:"gomaxprocs"`
+	BenchTime  string             `json:"benchtime,omitempty"`
 	Benchmarks map[string]*Result `json:"benchmarks"`
 }
 
@@ -53,6 +62,7 @@ func main() {
 	out := flag.String("out", "", "write the JSON report here (empty: stdout)")
 	baseline := flag.String("baseline", "", "baseline JSON to gate against (empty: no gate)")
 	threshold := flag.Float64("threshold", 0.20, "maximum allowed cycles/op regression, as a fraction")
+	benchtime := flag.String("benchtime", "", "the -benchtime the run used (e.g. 2000x), recorded in the report and checked against the baseline")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -68,6 +78,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	report.BenchTime = *benchtime
 	if len(report.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark lines found in %s", *in))
 	}
@@ -81,6 +92,23 @@ func main() {
 		os.Stdout.Write(js)
 	} else if err := os.WriteFile(*out, js, 0o644); err != nil {
 		fatal(err)
+	}
+
+	// The claimed -benchtime is only an assertion; when it is a fixed
+	// iteration count ("Nx"), hold it against the counts the run
+	// actually reports, so the bench command and the benchgate flag
+	// cannot silently drift apart. Checked after the report is written:
+	// CI uploads the report precisely when the run fails.
+	if n, ok := strings.CutSuffix(*benchtime, "x"); ok {
+		if want, err := strconv.ParseUint(n, 10, 64); err == nil {
+			for _, name := range sortedNames(report.Benchmarks) {
+				if it := report.Benchmarks[name].iterations; it != 0 && it != want {
+					fmt.Fprintf(os.Stderr, "FAIL: %s ran %d iterations but -benchtime claims %s; the bench command and the benchgate flag are out of sync\n",
+						name, it, *benchtime)
+					os.Exit(1)
+				}
+			}
+		}
 	}
 
 	if *baseline == "" {
@@ -126,6 +154,9 @@ func parse(r io.Reader) (*Report, error) {
 			res = &Result{}
 			report.Benchmarks[name] = res
 		}
+		if it, err := strconv.ParseUint(fields[1], 10, 64); err == nil {
+			res.iterations = it
+		}
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
@@ -161,14 +192,27 @@ func load(path string) (*Report, error) {
 // gate compares every baseline benchmark that carries a cycles/op
 // metric against the current run. Missing benchmarks fail: deleting a
 // gated hot path is a decision, recorded by editing the baseline.
+// Benchmarks in the run but absent from the baseline are warned about,
+// so a newly added hot path is never silently ungated.
 func gate(base, cur *Report, threshold float64) []string {
-	var failures []string
-	names := make([]string, 0, len(base.Benchmarks))
-	for name := range base.Benchmarks {
-		names = append(names, name)
+	switch {
+	case base.BenchTime != "" && cur.BenchTime != "" && base.BenchTime != cur.BenchTime:
+		// cycles/op from different iteration counts are incomparable
+		// (per-run setup amortizes over N): refuse outright rather
+		// than report phantom per-benchmark regressions on top.
+		return []string{fmt.Sprintf(
+			"benchtime mismatch: baseline captured at %q, this run at %q — cycles/op not comparable",
+			base.BenchTime, cur.BenchTime)}
+	case base.BenchTime == "" || cur.BenchTime == "":
+		fmt.Fprintln(os.Stderr, "note: benchtime not recorded on both sides; cannot verify baseline and run used the same iteration count")
 	}
-	sort.Strings(names)
-	for _, name := range names {
+	var failures []string
+	for _, name := range sortedNames(cur.Benchmarks) {
+		if cur.Benchmarks[name].CyclesPerOp != 0 && base.Benchmarks[name] == nil {
+			fmt.Fprintf(os.Stderr, "warning: %s reports cycles/op but has no baseline entry — not gated; add it to the baseline\n", name)
+		}
+	}
+	for _, name := range sortedNames(base.Benchmarks) {
 		b := base.Benchmarks[name]
 		if b.CyclesPerOp == 0 {
 			continue // host-time-only benchmark (P-series, Invoke pair): not gated
@@ -195,6 +239,16 @@ func gate(base, cur *Report, threshold float64) []string {
 		}
 	}
 	return failures
+}
+
+// sortedNames returns a map's benchmark names in stable order.
+func sortedNames(m map[string]*Result) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func fatal(err error) {

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"paramecium/internal/obj"
 )
@@ -112,5 +113,136 @@ func TestConcurrentBindSharesOneProxy(t *testing.T) {
 		if got[g] != got[0] {
 			t.Fatalf("bind %d returned a different proxy than bind 0", g)
 		}
+	}
+}
+
+// TestDestroyDomainDrainsWithoutDeadlock: DestroyDomain closes the
+// domain's proxies outside the domain lock, because Proxy.Close now
+// blocks until in-flight calls drain — and an in-flight call's target
+// method may itself need the domain lock (Bind). Closing under the
+// lock would deadlock; this must complete instead.
+func TestDestroyDomainDrainsWithoutDeadlock(t *testing.T) {
+	k, err := Boot(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := k.NewDomain("client")
+	entered := make(chan struct{})
+	proceed := make(chan struct{})
+	decl := obj.MustInterfaceDecl("svc.slow.v1",
+		obj.MethodDecl{Name: "work", NumIn: 0, NumOut: 0})
+	server := obj.New("slow", k.Meter)
+	bi, err := server.AddInterface(decl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi.MustBind("work", func(...any) ([]any, error) {
+		close(entered)
+		<-proceed
+		// Mid-drain, touch the destroying domain's bind cache: with
+		// Close held under d.mu this blocks forever; outside the lock
+		// it fails cleanly with ErrNoSuchDomain.
+		_, _ = client.Bind("/services/slow")
+		return nil, nil
+	})
+	serverDom := k.NewDomain("server")
+	if err := k.Register("/services/slow", server, serverDom.Ctx); err != nil {
+		t.Fatal(err)
+	}
+	h, err := client.ResolveMethod("/services/slow", "svc.slow.v1", "work")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	callDone := make(chan error, 1)
+	go func() {
+		_, err := h.Call()
+		callDone <- err
+	}()
+	<-entered // the call is now in flight in the server domain
+
+	destroyDone := make(chan error, 1)
+	go func() { destroyDone <- k.DestroyDomain(client) }()
+	// Let DestroyDomain reach its drain, then release the method.
+	time.Sleep(10 * time.Millisecond)
+	close(proceed)
+
+	select {
+	case err := <-destroyDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("DestroyDomain deadlocked against an in-flight call")
+	}
+	if err := <-callDone; err != nil {
+		t.Fatalf("in-flight call: %v", err)
+	}
+}
+
+// TestDestroyDomainDrainsInboundCalls: destroying a SERVER domain must
+// wait for calls executing inside it — those calls arrive through
+// proxies cached in other domains' bind caches (and kernel-resident
+// callers), which the dying domain's own cache knows nothing about.
+// Factory.CloseTarget closes and drains them all.
+func TestDestroyDomainDrainsInboundCalls(t *testing.T) {
+	k, err := Boot(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	decl := obj.MustInterfaceDecl("svc.block.v1",
+		obj.MethodDecl{Name: "block", NumIn: 0, NumOut: 0})
+	server := obj.New("blocker", k.Meter)
+	bi, err := server.AddInterface(decl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi.MustBind("block", func(...any) ([]any, error) {
+		close(entered)
+		<-release
+		return nil, nil
+	})
+	serverDom := k.NewDomain("server")
+	clientDom := k.NewDomain("client")
+	if err := k.Register("/services/blocker", server, serverDom.Ctx); err != nil {
+		t.Fatal(err)
+	}
+	h, err := clientDom.ResolveMethod("/services/blocker", "svc.block.v1", "block")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	callDone := make(chan error, 1)
+	go func() {
+		_, err := h.Call()
+		callDone <- err
+	}()
+	<-entered // the call is now executing inside the server domain
+
+	destroyDone := make(chan error, 1)
+	go func() { destroyDone <- k.DestroyDomain(serverDom) }()
+	select {
+	case err := <-destroyDone:
+		t.Fatalf("DestroyDomain returned (%v) while a call was executing in the domain", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case err := <-destroyDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("DestroyDomain never returned")
+	}
+	if err := <-callDone; err != nil {
+		t.Fatalf("in-flight call: %v", err)
+	}
+	// The server domain is gone and its proxies are closed: new calls
+	// fail cleanly.
+	if _, err := h.Call(); err == nil {
+		t.Fatal("call into destroyed domain succeeded")
 	}
 }

@@ -71,6 +71,100 @@ type Kernel struct {
 	mu        sync.RWMutex
 	placement map[obj.Instance]mmu.ContextID // where each registered instance lives
 	domains   map[mmu.ContextID]*Domain
+
+	// regMu serializes name-space publication with placement recording
+	// (Register, Interpose), so a failed publication's placement
+	// rollback cannot clobber a concurrent publication of the same
+	// instance. Lookups never take it.
+	regMu sync.Mutex
+
+	// kprox is KernelBind's bind cache — the kernel-resident mirror of
+	// Domain.prox, so repeated kernel binds of one instance share one
+	// proxy instead of leaking entry pages per call.
+	kprox proxyCache
+}
+
+// proxyCache is a bind cache of live proxies keyed by instance, shared
+// by Domain.Bind (per-domain) and KernelBind (kernel-wide) so the two
+// cannot drift: one staleness rule, one eviction path.
+type proxyCache struct {
+	mu sync.Mutex
+	m  map[obj.Instance]*proxy.Proxy // nil once destroyed
+}
+
+// bind resolves inst for a caller in ctx caller: the instance itself
+// if it lives there, else a cached-or-fresh proxy. homeOf reads the
+// instance's current placement; it is re-read at every decision point
+// rather than snapshotted once, so a bind that was delayed after an
+// early read cannot act on stale placement. Stale cache entries —
+// closed (the target domain died), or targeting a context other than
+// the instance's home (re-homed) — are evicted; an evicted open proxy
+// is Closed only if a placement re-read at that moment still says it
+// is orphaned (closing is destructive to every handle resolved
+// through it, so when in doubt the proxy is left open: a bounded leak
+// under placement flapping, never a wrongly killed live route). The
+// Close happens OUTSIDE the cache lock: it drains in-flight calls,
+// which may themselves need this cache.
+func (c *proxyCache) bind(inst obj.Instance, caller mmu.ContextID, homeOf func() mmu.ContextID, f *proxy.Factory) (obj.Instance, error) {
+	for {
+		home := homeOf()
+		if home == caller {
+			// No proxy needed. Drop a proxy cached before inst was
+			// re-homed into the caller's own context, closing it only
+			// if the placement still says so.
+			c.mu.Lock()
+			var stale *proxy.Proxy
+			if c.m != nil {
+				if p, ok := c.m[inst]; ok {
+					delete(c.m, inst)
+					stale = p
+				}
+			}
+			c.mu.Unlock()
+			if stale != nil && !stale.Closed() && homeOf() == caller {
+				_ = stale.Close()
+			}
+			return inst, nil
+		}
+		c.mu.Lock()
+		if c.m == nil {
+			c.mu.Unlock()
+			return nil, ErrNoSuchDomain
+		}
+		p, ok := c.m[inst]
+		if !ok {
+			np, err := f.New(caller, home, inst)
+			if err != nil {
+				c.mu.Unlock()
+				return nil, err
+			}
+			c.m[inst] = np
+			c.mu.Unlock()
+			return np, nil
+		}
+		if !p.Closed() && p.TargetContext() == home {
+			c.mu.Unlock()
+			return p, nil
+		}
+		delete(c.m, inst)
+		c.mu.Unlock()
+		if !p.Closed() && p.TargetContext() != homeOf() {
+			// Still orphaned on re-read: drain and release it.
+			_ = p.Close()
+		}
+		// Loop: rebuild against fresh placement, or adopt a proxy a
+		// concurrent bind installed.
+	}
+}
+
+// destroy empties the cache permanently and returns its proxies for
+// the caller to close (outside the cache lock).
+func (c *proxyCache) destroy() map[obj.Instance]*proxy.Proxy {
+	c.mu.Lock()
+	m := c.m
+	c.m = nil
+	c.mu.Unlock()
+	return m
 }
 
 // Boot assembles a kernel: machine, the four nucleus services, the
@@ -97,6 +191,7 @@ func Boot(cfg Config) (*Kernel, error) {
 		Proxies:   proxy.NewFactory(memSvc, 0),
 		placement: make(map[obj.Instance]mmu.ContextID),
 		domains:   make(map[mmu.ContextID]*Domain),
+		kprox:     proxyCache{m: make(map[obj.Instance]*proxy.Proxy)},
 	}
 
 	// The nucleus is the only static composition in the system.
@@ -146,19 +241,26 @@ type Domain struct {
 	View *names.View
 
 	kernel *Kernel
-	mu     sync.Mutex
-	prox   map[obj.Instance]*proxy.Proxy // bind cache
+	prox   proxyCache
+	// destroyed is closed (via destroyOnce, since a failed teardown
+	// can be retried) once DestroyDomain has quiesced the domain —
+	// drains and condemn done — so a DestroyDomain losing the race to
+	// a concurrent destroyer can still wait for quiescence before
+	// reporting ErrNoSuchDomain.
+	destroyed   chan struct{}
+	destroyOnce sync.Once
 }
 
 // NewDomain creates an application protection domain.
 func (k *Kernel) NewDomain(name string) *Domain {
 	ctx := k.Mem.NewDomain()
 	d := &Domain{
-		Name:   name,
-		Ctx:    ctx,
-		View:   k.RootView.Child(),
-		kernel: k,
-		prox:   make(map[obj.Instance]*proxy.Proxy),
+		Name:      name,
+		Ctx:       ctx,
+		View:      k.RootView.Child(),
+		kernel:    k,
+		prox:      proxyCache{m: make(map[obj.Instance]*proxy.Proxy)},
+		destroyed: make(chan struct{}),
 	}
 	k.mu.Lock()
 	k.domains[ctx] = d
@@ -166,31 +268,81 @@ func (k *Kernel) NewDomain(name string) *Domain {
 	return d
 }
 
-// DestroyDomain tears a domain down.
+// DestroyDomain tears a domain down. When it returns — including with
+// ErrNoSuchDomain after losing the race to a concurrent destroyer —
+// no cross-domain call is executing in the domain. Like Proxy.Close,
+// it must not be called from inside a method served by the domain
+// being destroyed (the drain could never finish).
 func (k *Kernel) DestroyDomain(d *Domain) error {
 	k.mu.Lock()
 	if _, ok := k.domains[d.Ctx]; !ok {
 		k.mu.Unlock()
+		// Lost to a concurrent destroyer: wait out its teardown so
+		// ErrNoSuchDomain still implies quiescence.
+		<-d.destroyed
 		return ErrNoSuchDomain
 	}
 	delete(k.domains, d.Ctx)
+	k.mu.Unlock()
+	// Close outside the cache lock: Close blocks until in-flight
+	// calls drain, and an in-flight call's target method may itself
+	// bind through this domain — closing under the lock would
+	// deadlock.
+	for _, p := range d.prox.destroy() {
+		_ = p.Close()
+	}
+	// Quiesce inbound calls too: proxies targeting this domain live in
+	// other domains' bind caches (and in kernel-resident callers), not
+	// in d.prox. Closing them drains every call still executing in
+	// this domain before its context is destroyed. This runs BEFORE
+	// the placement entries are removed: a Bind racing teardown either
+	// reads the old placement and fails on the condemned target, or
+	// (after the removal below) no placement at all — it can never
+	// build a live route into the dying context.
+	k.Proxies.CloseTarget(d.Ctx)
+	// The sweep holds regMu so it cannot interleave with a
+	// publishPlaced between its placement write and its publication —
+	// a racing Register into the dying context either lands entirely
+	// before the sweep (and is orphaned like any other name of the
+	// dead domain) or entirely after (and its binds fail on the
+	// condemned target).
+	k.regMu.Lock()
+	k.mu.Lock()
 	for inst, ctx := range k.placement {
 		if ctx == d.Ctx {
 			delete(k.placement, inst)
 		}
 	}
 	k.mu.Unlock()
-	d.mu.Lock()
-	for _, p := range d.prox {
-		_ = p.Close()
+	k.regMu.Unlock()
+	// Quiescent: drains, condemn and sweep are done. Release waiters
+	// now, whether or not the context destruction below succeeds.
+	d.destroyOnce.Do(func() { close(d.destroyed) })
+	if err := k.Mem.DestroyDomain(d.Ctx); err != nil {
+		// The context survived (e.g. it is the machine's current
+		// context). Keep it condemned, and re-register the domain so
+		// the teardown can be retried — the drains above are all
+		// idempotent.
+		k.mu.Lock()
+		k.domains[d.Ctx] = d
+		k.mu.Unlock()
+		return err
 	}
-	d.prox = nil
-	d.mu.Unlock()
-	return k.Mem.DestroyDomain(d.Ctx)
+	// The context is gone: the MMU now rejects every crossing into it,
+	// so the condemn entry is redundant and can be dropped (bounding
+	// the condemned set under domain churn).
+	k.Proxies.Absolve(d.Ctx)
+	return nil
 }
 
-// registerPlacement records which context an instance lives in.
+// registerPlacement records which context an instance lives in
+// WITHOUT publishing a name for it. Production code must go through
+// publishPlaced (Register, Interpose), which keeps placement and
+// publication consistent under regMu; this exists for instances made
+// reachable by other means (per-domain view overrides, tests).
 func (k *Kernel) registerPlacement(inst obj.Instance, ctx mmu.ContextID) {
+	k.regMu.Lock()
+	defer k.regMu.Unlock()
 	k.mu.Lock()
 	k.placement[inst] = ctx
 	k.mu.Unlock()
@@ -204,14 +356,58 @@ func (k *Kernel) PlacementOf(inst obj.Instance) mmu.ContextID {
 	return k.placement[inst]
 }
 
+// publishPlaced records inst's placement and runs publish (a
+// name-space mutation making inst reachable), keeping the pair
+// consistent for concurrent lock-free Binds: an instance never
+// becomes reachable before its placement is known (a racing Bind
+// would otherwise cache a proxy targeting the kernel context,
+// PlacementOf's zero value), and an instance that is already placed
+// keeps its old home until publication succeeds, so a failed
+// publication never exposes even a transient wrong placement for
+// names already published. regMu serializes publications, so the
+// rollback cannot clobber a concurrent publication of inst.
+func (k *Kernel) publishPlaced(inst obj.Instance, ctx mmu.ContextID, publish func() error) error {
+	k.regMu.Lock()
+	defer k.regMu.Unlock()
+	return k.publishPlacedLocked(inst, ctx, publish)
+}
+
+// publishPlacedLocked is publishPlaced for callers already holding
+// regMu (Interpose, which must read the target's placement inside the
+// same critical section it publishes the agent under).
+func (k *Kernel) publishPlacedLocked(inst obj.Instance, ctx mmu.ContextID, publish func() error) error {
+	k.mu.Lock()
+	prev, had := k.placement[inst]
+	if !had {
+		k.placement[inst] = ctx
+	}
+	k.mu.Unlock()
+	if err := publish(); err != nil {
+		if !had {
+			// inst was reachable through no name (regMu excludes
+			// concurrent publications), so nothing observed this.
+			k.mu.Lock()
+			delete(k.placement, inst)
+			k.mu.Unlock()
+		}
+		return err
+	}
+	if had && prev != ctx {
+		// Re-homing an already-published instance: last-write-wins,
+		// applied only once the new name is live.
+		k.mu.Lock()
+		k.placement[inst] = ctx
+		k.mu.Unlock()
+	}
+	return nil
+}
+
 // Register places an instance in the name space, recording its
 // protection domain.
 func (k *Kernel) Register(path string, inst obj.Instance, ctx mmu.ContextID) error {
-	if err := k.Space.Register(path, inst); err != nil {
-		return err
-	}
-	k.registerPlacement(inst, ctx)
-	return nil
+	return k.publishPlaced(inst, ctx, func() error {
+		return k.Space.Register(path, inst)
+	})
 }
 
 // Bind resolves path in the domain's view. If the instance lives in
@@ -224,21 +420,9 @@ func (d *Domain) Bind(path string) (obj.Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	home := d.kernel.PlacementOf(inst)
-	if home == d.Ctx {
-		return inst, nil
-	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if p, ok := d.prox[inst]; ok {
-		return p, nil
-	}
-	p, err := d.kernel.Proxies.New(d.Ctx, home, inst)
-	if err != nil {
-		return nil, err
-	}
-	d.prox[inst] = p
-	return p, nil
+	return d.prox.bind(inst, d.Ctx,
+		func() mmu.ContextID { return d.kernel.PlacementOf(inst) },
+		d.kernel.Proxies)
 }
 
 // BindInterface is Bind followed by interface selection.
@@ -268,17 +452,16 @@ func (d *Domain) ResolveMethod(path, iface, method string) (obj.MethodHandle, er
 
 // KernelBind resolves a path for kernel-resident callers: instances in
 // the kernel context are returned directly; instances in application
-// domains are reached through a proxy owned by the kernel context.
+// domains are reached through a proxy owned by the kernel context,
+// cached per instance exactly as Domain.Bind caches its proxies.
 func (k *Kernel) KernelBind(path string) (obj.Instance, error) {
 	inst, err := k.RootView.Bind(path)
 	if err != nil {
 		return nil, err
 	}
-	home := k.PlacementOf(inst)
-	if home == mmu.KernelContext {
-		return inst, nil
-	}
-	return k.Proxies.New(mmu.KernelContext, home, inst)
+	return k.kprox.bind(inst, mmu.KernelContext,
+		func() mmu.ContextID { return k.PlacementOf(inst) },
+		k.Proxies)
 }
 
 // Interpose replaces the instance at path with an interposing agent
@@ -294,10 +477,17 @@ func (k *Kernel) Interpose(path string, build func(target obj.Instance) (obj.Ins
 	if err != nil {
 		return nil, err
 	}
-	if _, err := k.Space.Replace(path, agent); err != nil {
+	// The target's placement is read under regMu, so a concurrent
+	// re-registration of the target cannot slip between the read and
+	// the agent's publication.
+	k.regMu.Lock()
+	defer k.regMu.Unlock()
+	if err := k.publishPlacedLocked(agent, k.PlacementOf(target), func() error {
+		_, err := k.Space.Replace(path, agent)
+		return err
+	}); err != nil {
 		return nil, err
 	}
-	k.registerPlacement(agent, k.PlacementOf(target))
 	return agent, nil
 }
 

@@ -261,7 +261,13 @@ func (s *Service) RegisterFaultHandler(ctx mmu.ContextID, va mmu.VAddr, h FaultH
 	return nil
 }
 
-// UnregisterFaultHandler removes a page's fault call-back.
+// UnregisterFaultHandler removes a page's fault call-back. It prevents
+// new dispatches but does not wait for call-backs already dispatched:
+// fault dispatch runs the handler outside the service's lock, so a
+// handler may still be executing when Unregister returns. A caller
+// that needs quiescence before tearing down handler-owned state must
+// track its own in-flight calls — as proxy.Proxy.Close does with its
+// in-flight counter.
 func (s *Service) UnregisterFaultHandler(ctx mmu.ContextID, va mmu.VAddr) error {
 	key := pageKey{ctx: ctx, vpn: va.VPN()}
 	s.mu.Lock()

@@ -181,12 +181,13 @@ var ErrExists = errors.New("mmu: context already exists")
 type MMU struct {
 	meter *clock.Meter
 
-	// current is the context register: read on every proxy fault by
-	// concurrent callers, so it lives outside the mutex. Writes still
-	// happen under mu (Switch, DestroyContext ordering).
+	// current is the context register. Reads are lock-free; writes
+	// still happen under mu (Switch, DestroyContext ordering). It is
+	// scheduler state: cross-domain calls do not route through it (see
+	// CrossSwitch), so it never holds a call's transient target context.
 	current atomic.Uint32
 
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	contexts map[ContextID]*pageTable
 	nextCtx  ContextID
 	tlb      *tlb
@@ -282,6 +283,40 @@ func (m *MMU) Switch(id ContextID) error {
 		m.tlb.flush()
 		m.meter.Charge(clock.OpTLBFlush)
 	}
+	return nil
+}
+
+// CrossSwitch models one leg of a cross-domain call's context-switch
+// pair (caller→target on entry, target→caller on return): it validates
+// that the destination context exists and charges the switch cost —
+// plus the TLB flush under FlushOnSwitch — without moving the shared
+// context register. Each in-flight cross-domain call executes as if on
+// its own processor, so one call's transient target context is never
+// observable to a concurrent call, and the charge sequence is
+// deterministic under any interleaving: always exactly one OpCtxSwitch
+// per leg.
+func (m *MMU) CrossSwitch(to ContextID) error {
+	if !m.flushOnSwitch {
+		// ASID mode mutates nothing: an existence check plus an atomic
+		// meter charge. Read-lock so concurrent crossings — two per
+		// cross-domain call — do not serialize on the MMU.
+		m.mu.RLock()
+		_, ok := m.contexts[to]
+		m.mu.RUnlock()
+		if !ok {
+			return ErrNoContext
+		}
+		m.meter.Charge(clock.OpCtxSwitch)
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.contexts[to]; !ok {
+		return ErrNoContext
+	}
+	m.meter.Charge(clock.OpCtxSwitch)
+	m.tlb.flush()
+	m.meter.Charge(clock.OpTLBFlush)
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"paramecium/internal/clock"
 	"paramecium/internal/obj"
@@ -185,6 +186,131 @@ func TestProxyCloseRace(t *testing.T) {
 	}
 }
 
+// TestConcurrentCrossingsChargeDeterministically is the regression
+// test for the context-register TOCTOU: a cross-domain call charges
+// exactly one context switch in and one back, no matter how calls
+// interleave. Before the per-call crossing model, a concurrent handler
+// could observe another call's transient target context in the shared
+// register and skip its own switch pair, making the charge total (and
+// the final register value) interleaving-dependent.
+func TestConcurrentCrossingsChargeDeterministically(t *testing.T) {
+	f, svc, m := setup()
+	serverCtx := svc.NewDomain()
+	targetA, _ := newAtomicCounter(m.Meter)
+	targetB, _ := newAtomicCounter(m.Meter)
+	pA, err := f.New(svc.NewDomain(), serverCtx, targetA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pB, err := f.New(svc.NewDomain(), serverCtx, targetB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivA, _ := pA.Iface("test.atomic.v1")
+	ivB, _ := pB.Iface("test.atomic.v1")
+	incA, _ := ivA.Resolve("inc")
+	incB, _ := ivB.Resolve("inc")
+
+	const goroutines = 8
+	const callsEach = 100
+	m.Meter.ResetCounts()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		h := incA
+		if g%2 == 1 {
+			h = incB
+		}
+		wg.Add(1)
+		go func(h obj.MethodHandle) {
+			defer wg.Done()
+			for i := 0; i < callsEach; i++ {
+				if _, err := h.Call(1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(h)
+	}
+	wg.Wait()
+	want := uint64(2 * goroutines * callsEach)
+	if got := m.Meter.Count(clock.OpCtxSwitch); got != want {
+		t.Fatalf("context switches = %d, want exactly %d", got, want)
+	}
+}
+
+// TestProxyCloseQuiesces: Close must not return while a call is still
+// executing in the target's domain, so teardown that follows Close
+// (destroying the target context, freeing target state) cannot race an
+// in-flight cross-domain call.
+func TestProxyCloseQuiesces(t *testing.T) {
+	f, svc, m := setup()
+	serverCtx := svc.NewDomain()
+	clientCtx := svc.NewDomain()
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	o := obj.New("blocker", m.Meter)
+	decl := obj.MustInterfaceDecl("test.block.v1",
+		obj.MethodDecl{Name: "block", NumIn: 0, NumOut: 0})
+	bi, err := o.AddInterface(decl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi.MustBind("block", func(...any) ([]any, error) {
+		close(entered)
+		<-release
+		return nil, nil
+	})
+	p, err := f.New(clientCtx, serverCtx, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, _ := p.Iface("test.block.v1")
+
+	callDone := make(chan error, 1)
+	go func() {
+		_, err := iv.Invoke("block")
+		callDone <- err
+	}()
+	<-entered // the call is now mid-invoke in the target domain
+
+	// Two concurrent closers: the winner and the loser must BOTH wait
+	// for the drain — teardown sequenced after any returned Close,
+	// ErrClosed or not, must be safe.
+	closeErrs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() { closeErrs <- p.Close() }()
+	}
+	select {
+	case err := <-closeErrs:
+		t.Fatalf("Close returned (%v) while a call was executing in the target domain", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	var wins, losses int
+	for i := 0; i < 2; i++ {
+		switch err := <-closeErrs; {
+		case err == nil:
+			wins++
+		case errors.Is(err, ErrClosed):
+			losses++
+		default:
+			t.Fatal(err)
+		}
+	}
+	if wins != 1 || losses != 1 {
+		t.Fatalf("close results: %d nil, %d ErrClosed; want 1 and 1", wins, losses)
+	}
+	if err := <-callDone; err != nil {
+		t.Fatal(err)
+	}
+	// Quiescence achieved: the target domain can now be torn down
+	// without racing the (finished) call.
+	if err := svc.DestroyDomain(serverCtx); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestConcurrentCloseIdempotent: exactly one Close wins; the rest get
 // ErrClosed.
 func TestConcurrentCloseIdempotent(t *testing.T) {
@@ -257,5 +383,53 @@ func TestConcurrentCallsTwoProxies(t *testing.T) {
 	wg.Wait()
 	if nA.Load() != 2*callsEach || nB.Load() != 2*callsEach {
 		t.Fatalf("cross-talk: A=%d B=%d, want %d each", nA.Load(), nB.Load(), 2*callsEach)
+	}
+}
+
+// TestCloseTargetCondemnsNewProxies: after CloseTarget(ctx) the
+// factory must refuse to build proxies onto ctx — otherwise a bind
+// racing domain teardown could create a fresh route into a context
+// about to be destroyed, reopening the quiescence hole CloseTarget
+// exists to plug.
+func TestCloseTargetCondemnsNewProxies(t *testing.T) {
+	f, svc, m := setup()
+	serverCtx := svc.NewDomain()
+	clientCtx := svc.NewDomain()
+	target, _ := newAtomicCounter(m.Meter)
+	p, err := f.New(clientCtx, serverCtx, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, _ := p.Iface("test.atomic.v1")
+	inc, err := iv.Resolve("inc")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f.CloseTarget(serverCtx)
+	if _, err := inc.Call(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("call through closed-by-target proxy = %v, want ErrClosed", err)
+	}
+	if _, err := f.New(clientCtx, serverCtx, target); err == nil {
+		t.Fatal("factory built a proxy onto a condemned target context")
+	}
+	// Other targets are unaffected.
+	otherCtx := svc.NewDomain()
+	p2, err := f.New(clientCtx, otherCtx, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Absolve lifts the gate (done by the kernel once the MMU context
+	// itself is destroyed).
+	f.Absolve(serverCtx)
+	p3, err := f.New(clientCtx, serverCtx, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p3.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -137,8 +137,10 @@ type Factory struct {
 	base   mmu.VAddr
 	frames frameTable
 
-	mu     sync.Mutex
-	nextVA map[mmu.ContextID]mmu.VAddr
+	mu        sync.Mutex
+	nextVA    map[mmu.ContextID]mmu.VAddr
+	live      map[*Proxy]struct{}        // open proxies, for CloseTarget
+	condemned map[mmu.ContextID]struct{} // targets being torn down
 }
 
 // NewFactory builds a factory allocating entry pages from base.
@@ -146,7 +148,51 @@ func NewFactory(svc *mem.Service, base mmu.VAddr) *Factory {
 	if base == 0 {
 		base = DefaultEntryBase
 	}
-	return &Factory{svc: svc, base: base, nextVA: make(map[mmu.ContextID]mmu.VAddr)}
+	return &Factory{
+		svc:       svc,
+		base:      base,
+		nextVA:    make(map[mmu.ContextID]mmu.VAddr),
+		live:      make(map[*Proxy]struct{}),
+		condemned: make(map[mmu.ContextID]struct{}),
+	}
+}
+
+// CloseTarget closes every live proxy of this factory whose target
+// lives in ctx, draining their in-flight calls, and condemns the
+// context so the factory refuses to build new proxies onto it: when
+// CloseTarget returns, no cross-domain call is executing in ctx
+// through any of this factory's proxies, and none ever will again.
+// Destroying a protection domain uses this to quiesce inbound calls —
+// proxies held by other domains (or built by kernel-resident callers)
+// that the dying domain's own bind cache knows nothing about. The
+// condemn closes the remaining window, a racing New that would
+// register its proxy after the snapshot below.
+func (f *Factory) CloseTarget(ctx mmu.ContextID) {
+	f.mu.Lock()
+	f.condemned[ctx] = struct{}{}
+	var closing []*Proxy
+	for p := range f.live {
+		if p.targetCtx == ctx {
+			closing = append(closing, p)
+		}
+	}
+	f.mu.Unlock()
+	for _, p := range closing {
+		_ = p.Close()
+	}
+}
+
+// Absolve forgets a condemned target context, bounding the condemned
+// set for kernels that churn domains. Only safe once the context
+// itself no longer exists (its MMU context destroyed): from then on
+// every crossing into it fails at the MMU, so the condemn gate is
+// redundant. A proxy built in the narrow absolved window is inert —
+// its calls all fail "target domain gone" — and is evicted by the
+// bind caches' staleness check.
+func (f *Factory) Absolve(ctx mmu.ContextID) {
+	f.mu.Lock()
+	delete(f.condemned, ctx)
+	f.mu.Unlock()
 }
 
 // allocEntryPage reserves one (never-mapped) page of entry slots in
@@ -177,6 +223,7 @@ func (f *Factory) New(callerCtx, targetCtx mmu.ContextID, target obj.Instance) (
 		target:    target,
 		ifaces:    make(map[string]*entryIface),
 	}
+	p.drainCv = sync.NewCond(&p.drainMu)
 	for _, name := range target.InterfaceNames() {
 		iv, ok := target.Iface(name)
 		if !ok {
@@ -192,6 +239,17 @@ func (f *Factory) New(callerCtx, targetCtx mmu.ContextID, target obj.Instance) (
 		}
 		p.ifaces[name] = ei
 	}
+	// The condemned check is atomic with the live-registration, so a
+	// CloseTarget cannot slip between them: a proxy either lands in
+	// the snapshot CloseTarget closes, or fails here.
+	f.mu.Lock()
+	if _, dead := f.condemned[targetCtx]; dead {
+		f.mu.Unlock()
+		_ = p.Close()
+		return nil, fmt.Errorf("proxy: target domain %d destroyed", targetCtx)
+	}
+	f.live[p] = struct{}{}
+	f.mu.Unlock()
 	return p, nil
 }
 
@@ -207,9 +265,14 @@ type Proxy struct {
 	targetCtx mmu.ContextID
 	target    obj.Instance
 
-	closed atomic.Bool
-	calls  atomic.Uint64
-	ifaces map[string]*entryIface // immutable after New
+	closed   atomic.Bool
+	calls    atomic.Uint64
+	inflight atomic.Int64 // fault handlers currently executing
+	// drainMu/drainCv let any number of Close callers wait for
+	// inflight to hit zero; the last handler out broadcasts.
+	drainMu sync.Mutex
+	drainCv *sync.Cond
+	ifaces  map[string]*entryIface // immutable after New
 }
 
 // Class implements obj.Instance. Proxies are transparent: they present
@@ -243,14 +306,50 @@ func (p *Proxy) Calls() uint64 {
 // TargetContext reports the protection domain of the real object.
 func (p *Proxy) TargetContext() mmu.ContextID { return p.targetCtx }
 
-// Close releases the proxy's entry pages and fault handlers. Calls
+// Closed reports whether the proxy has been closed. Bind caches use it
+// to evict dead entries (a proxy closed by CloseTarget when its target
+// domain died) instead of handing them out forever.
+func (p *Proxy) Closed() bool { return p.closed.Load() }
+
+// Close releases the proxy's entry pages and fault handlers, then
+// waits for in-flight cross-domain calls to drain: when Close returns,
+// no call is executing in the target's domain, so the caller may
+// safely destroy the target context and free target state. Calls
 // racing with Close either complete normally or fail with ErrClosed.
+//
+// A Close that loses the race to a concurrent closer still waits for
+// the drain before returning ErrClosed, so teardown sequenced after
+// any returned Close — winner or loser — is safe.
+//
+// Close must not be called from inside a target method of this same
+// proxy: the fault handler runs on the calling goroutine, so its own
+// in-flight count could never drain — the same rule as
+// sync.WaitGroup.Wait from inside a worker. Likewise anything Close
+// transitively blocks on (core.Kernel.DestroyDomain closes proxies
+// outside the domain lock for exactly this reason).
 func (p *Proxy) Close() error {
-	if !p.closed.CompareAndSwap(false, true) {
-		return ErrClosed
+	won := p.closed.CompareAndSwap(false, true)
+	if won {
+		p.factory.mu.Lock()
+		delete(p.factory.live, p)
+		p.factory.mu.Unlock()
+		for _, ei := range p.ifaces {
+			_ = p.factory.svc.UnregisterFaultHandler(p.callerCtx, ei.pageVA)
+		}
 	}
-	for _, ei := range p.ifaces {
-		_ = p.factory.svc.UnregisterFaultHandler(p.callerCtx, ei.pageVA)
+	// Quiesce. Handlers that entered before closed was set are counted
+	// in inflight; handlers entering after will observe closed and do
+	// no target-side work, so once the counter drains no call is (or
+	// will be) executing in the target domain. The last handler out
+	// broadcasts under drainMu, so any number of Close callers block
+	// here without spinning or losing wakeups.
+	p.drainMu.Lock()
+	for p.inflight.Load() != 0 {
+		p.drainCv.Wait()
+	}
+	p.drainMu.Unlock()
+	if !won {
+		return ErrClosed
 	}
 	return nil
 }
@@ -347,6 +446,10 @@ func (e *entryIface) fault(md *obj.MethodDecl, args []any) ([]any, error) {
 // each finding its own frame by the trap frame's token.
 func (e *entryIface) handleFault(f *hw.TrapFrame) bool {
 	p := e.proxy
+	// Entered before the closed-check so Close can quiesce: if closed
+	// is observed set here, the handler touches nothing of the target.
+	p.inflight.Add(1)
+	defer p.exitHandler()
 	if p.closed.Load() {
 		return false
 	}
@@ -362,18 +465,28 @@ func (e *entryIface) handleFault(f *hw.TrapFrame) bool {
 	// Map in arguments.
 	meter.ChargeN(clock.OpCopyWord, wordsOf(call.args))
 
-	cur := machine.MMU.Current()
-	switched := cur != p.targetCtx
-	if switched {
-		if err := machine.MMU.Switch(p.targetCtx); err != nil {
+	// The call runs in the caller's domain and crosses into the
+	// target's: one switch there, one back. Each leg is validated and
+	// charged by CrossSwitch without touching the machine's shared
+	// context register — every in-flight call is its own virtual
+	// processor, so concurrent calls never observe each other's
+	// transient context and the switch charges are deterministic.
+	crossing := p.callerCtx != p.targetCtx
+	if crossing {
+		if err := machine.MMU.CrossSwitch(p.targetCtx); err != nil {
 			call.err = fmt.Errorf("proxy: target domain gone: %w", err)
 			call.done = true
 			return false
 		}
 	}
 	call.res, call.err = e.target.Invoke(call.method, call.args...)
-	if switched {
-		_ = machine.MMU.Switch(cur)
+	if crossing {
+		if err := machine.MMU.CrossSwitch(p.callerCtx); err != nil {
+			// The caller's domain was destroyed while the call was in
+			// flight; there is no context to return to. Surface it
+			// alongside any error the target itself returned.
+			call.err = errors.Join(call.err, fmt.Errorf("proxy: caller domain gone: %w", err))
+		}
 	}
 
 	// Return values are handled similarly.
@@ -383,6 +496,19 @@ func (e *entryIface) handleFault(f *hw.TrapFrame) bool {
 	// so the fault is reported as unresolved; fault picks the results
 	// out of the call frame.
 	return false
+}
+
+// exitHandler decrements the in-flight handler count, waking Close
+// callers draining the proxy when the last handler leaves. Taking
+// drainMu around the broadcast pairs with the counter re-check under
+// the same mutex in Close, so a wakeup cannot slip between a waiter's
+// check and its wait.
+func (p *Proxy) exitHandler() {
+	if p.inflight.Add(-1) == 0 && p.closed.Load() {
+		p.drainMu.Lock()
+		p.drainCv.Broadcast()
+		p.drainMu.Unlock()
+	}
 }
 
 // wordsOf estimates the 8-byte words needed to carry a value list

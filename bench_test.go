@@ -5,6 +5,7 @@
 package paramecium_test
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -199,6 +200,30 @@ func BenchmarkP3_ParallelInvokeHandle(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkP4_ParallelProxyCallCPUs sweeps the virtual CPU count under
+// the parallel cross-domain workload: each call claims a virtual CPU,
+// so with more CPUs the entry-page translations and crossing charges
+// spread over per-CPU TLBs and registers instead of funnelling through
+// shared MMU state. benchgate records one row per CPU count.
+func BenchmarkP4_ParallelProxyCallCPUs(b *testing.B) {
+	for _, ncpu := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("cpus=%d", ncpu), func(b *testing.B) {
+			inc, _, _ := bench.SharedCounterHandleCPUs(ncpu)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := inc.Call(); err != nil {
+						// b.Fatal is only safe from the benchmark goroutine.
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
 }
 
 func BenchmarkT2_CrossDomain(b *testing.B) {

@@ -28,7 +28,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -63,6 +62,9 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline JSON to gate against (empty: no gate)")
 	threshold := flag.Float64("threshold", 0.20, "maximum allowed cycles/op regression, as a fraction")
 	benchtime := flag.String("benchtime", "", "the -benchtime the run used (e.g. 2000x), recorded in the report and checked against the baseline")
+	minParallel := flag.Float64("minparallel", 0, "minimum serialized-to-parallel ns/op ratio (P0/P1); 0 disables the ratio gate")
+	pSerial := flag.String("pserial", "BenchmarkP0_SerializedProxyCall", "serialized benchmark for the ratio gate")
+	pParallel := flag.String("pparallel", "BenchmarkP1_ParallelProxyCall", "parallel benchmark for the ratio gate")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -111,6 +113,39 @@ func main() {
 		}
 	}
 
+	// The serialized-to-parallel ratio gate. Absolute ns/op on shared
+	// runners is noise, but the RATIO of the same workload run behind
+	// one mutex versus concurrently is a property of the code: if the
+	// invocation plane reacquires a global serialization point (MMU
+	// mutex, single runqueue, per-interface slot), the parallel run
+	// degrades to the serialized one and the ratio collapses toward —
+	// or below — 1. Gated against the current run alone, no baseline
+	// needed.
+	if *minParallel > 0 {
+		p0, p1 := report.Benchmarks[*pSerial], report.Benchmarks[*pParallel]
+		switch {
+		case report.GoMaxProcs < 2:
+			// With one processor there is no parallelism for the ratio
+			// to measure: serialized and concurrent runs do the same
+			// work, and the ratio is pure noise around 1. Skip, loudly.
+			fmt.Fprintln(os.Stderr, "note: ratio gate skipped at GOMAXPROCS=1 (no parallelism to measure)")
+		case p0 == nil || p1 == nil:
+			fmt.Fprintf(os.Stderr, "FAIL: ratio gate needs both %s and %s in the run\n", *pSerial, *pParallel)
+			os.Exit(1)
+		case p0.NsPerOp <= 0 || p1.NsPerOp <= 0:
+			fmt.Fprintf(os.Stderr, "FAIL: ratio gate needs ns/op for %s and %s\n", *pSerial, *pParallel)
+			os.Exit(1)
+		default:
+			ratio := p0.NsPerOp / p1.NsPerOp
+			if ratio < *minParallel {
+				fmt.Fprintf(os.Stderr, "FAIL: serialized/parallel ratio %.2f < %.2f required (%s %.1f ns/op vs %s %.1f ns/op) — the parallel plane has re-serialized\n",
+					ratio, *minParallel, *pSerial, p0.NsPerOp, *pParallel, p1.NsPerOp)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "benchgate: serialized/parallel ratio %.2f (>= %.2f required)\n", ratio, *minParallel)
+		}
+	}
+
 	if *baseline == "" {
 		return
 	}
@@ -133,9 +168,13 @@ func main() {
 //	BenchmarkT2_CrossDomain-8   200000   813.7 ns/op   714.0 cycles/op
 //
 // The -N GOMAXPROCS suffix is stripped so names stay stable across
-// runner shapes.
+// runner shapes — but N itself is kept as the report's GoMaxProcs: it
+// is the parallelism of the RUN, which is what the ratio gate must
+// judge, not the parallelism of the benchgate process (the two can
+// differ when the bench step sets GOMAXPROCS or the output is parsed
+// elsewhere). Suffix-less output means the run had GOMAXPROCS=1.
 func parse(r io.Reader) (*Report, error) {
-	report := &Report{GoMaxProcs: runtime.GOMAXPROCS(0), Benchmarks: map[string]*Result{}}
+	report := &Report{GoMaxProcs: 1, Benchmarks: map[string]*Result{}}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -145,8 +184,11 @@ func parse(r io.Reader) (*Report, error) {
 		}
 		name := fields[0]
 		if i := strings.LastIndexByte(name, '-'); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			if n, err := strconv.Atoi(name[i+1:]); err == nil {
 				name = name[:i]
+				if n > report.GoMaxProcs {
+					report.GoMaxProcs = n
+				}
 			}
 		}
 		res := report.Benchmarks[name]

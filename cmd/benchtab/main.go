@@ -46,8 +46,9 @@ func main() {
 		"F5": bench.F5TrapCostSweep,
 		"P1": bench.P1ParallelProxyCall,
 		"P2": bench.P2ParallelLookup,
+		"P3": bench.P3CPUTopology,
 	}
-	order := []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4", "F5", "P1", "P2"}
+	order := []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4", "F5", "P1", "P2", "P3"}
 
 	for _, a := range flag.Args() {
 		if _, ok := runners[strings.ToUpper(a)]; !ok {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"paramecium/internal/mmu"
 	"paramecium/internal/obj"
 )
 
@@ -49,13 +50,20 @@ func throughput(workers, total int, op func()) float64 {
 	return float64(workers*each) / (elapsed.Seconds() * 1000)
 }
 
-// SharedCounterHandle boots a world with a concurrency-safe counter
-// in a server domain and returns one pre-resolved cross-domain handle
-// from a client domain plus the counter itself — the shared-handle
-// fixture used by both the P1 experiment and the root-level
-// BenchmarkP* family.
+// SharedCounterHandle boots a single-CPU world with a concurrency-safe
+// counter in a server domain and returns one pre-resolved cross-domain
+// handle from a client domain plus the counter itself — the
+// shared-handle fixture used by both the P1 experiment and the
+// root-level BenchmarkP* family.
 func SharedCounterHandle() (obj.MethodHandle, *atomic.Int64) {
-	w := NewWorld()
+	h, n, _ := SharedCounterHandleCPUs(1)
+	return h, n
+}
+
+// SharedCounterHandleCPUs is SharedCounterHandle on an ncpu-CPU
+// machine, also returning the world so callers can read per-CPU stats.
+func SharedCounterHandleCPUs(ncpu int) (obj.MethodHandle, *atomic.Int64, *World) {
+	w := NewWorldCPUs(ncpu)
 	decl := obj.MustInterfaceDecl("bench.atomic.v1", obj.MethodDecl{Name: "inc", NumIn: 0, NumOut: 1})
 	server := obj.New("atomic-counter", w.K.Meter)
 	n := new(atomic.Int64)
@@ -73,7 +81,7 @@ func SharedCounterHandle() (obj.MethodHandle, *atomic.Int64) {
 	if err != nil {
 		panic(err)
 	}
-	return inc, n
+	return inc, n, w
 }
 
 // P1ParallelProxyCall compares serialized and concurrent cross-domain
@@ -159,10 +167,45 @@ func P2ParallelLookup() Table {
 	return t
 }
 
+// P3CPUTopology sweeps the virtual CPU count: the same parallel
+// cross-domain workload on machines of 1, 2, 4 and 8 CPUs, with as
+// many workers as CPUs. Beyond throughput it reports where the TLB
+// traffic landed — with per-CPU TLBs the misses spread across the
+// topology instead of funnelling through one shared TLB behind one
+// global mutex.
+func P3CPUTopology() Table {
+	t := Table{
+		ID:     "P3",
+		Title:  "CPU topology sweep: parallel cross-domain invocation (host ops/ms, higher is better)",
+		Claim:  `per-CPU context registers, TLBs and run queues remove every global serialization point from the invocation plane: unrelated calls translate, cross and dispatch fully in parallel`,
+		Header: []string{"cpus", "ops/ms", "CPUs with TLB traffic", "TLB misses (sum)"},
+	}
+	const total = 32_000
+	for _, ncpu := range []int{1, 2, 4, 8} {
+		inc, _, w := SharedCounterHandleCPUs(ncpu)
+		ops := throughput(ncpu, total, func() { _, _ = inc.Call() })
+		populated := 0
+		var misses uint64
+		for i := 0; i < ncpu; i++ {
+			s := w.K.Machine.MMU.TLBStatsOn(mmu.CPUID(i))
+			if s.Misses > 0 {
+				populated++
+			}
+			misses += s.Misses
+		}
+		t.AddRow(ncpu, fmt.Sprintf("%.0f", ops), populated, misses)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("host wall-clock at GOMAXPROCS=%d; not deterministic virtual cycles", runtime.GOMAXPROCS(0)),
+		"workers = cpus; each call claims a virtual CPU, so misses partition across the topology")
+	return t
+}
+
 // AllParallel runs the P-series experiments.
 func AllParallel() []Table {
 	return []Table{
 		P1ParallelProxyCall(),
 		P2ParallelLookup(),
+		P3CPUTopology(),
 	}
 }

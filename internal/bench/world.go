@@ -18,12 +18,15 @@ type World struct {
 	Admin *cert.KeyCertifier
 }
 
-// NewWorld boots a fresh world. Panics on setup failure: the harness
-// cannot proceed without a kernel, and every failure here is a
-// programming error, not an experimental outcome.
-func NewWorld() *World {
+// NewWorld boots a fresh single-CPU world. Panics on setup failure:
+// the harness cannot proceed without a kernel, and every failure here
+// is a programming error, not an experimental outcome.
+func NewWorld() *World { return NewWorldCPUs(1) }
+
+// NewWorldCPUs boots a world on a machine with ncpu virtual CPUs.
+func NewWorldCPUs(ncpu int) *World {
 	auth := cert.NewAuthority(0xB007)
-	k, err := core.Boot(core.Config{AuthorityKey: auth.PublicKey()})
+	k, err := core.Boot(core.Config{AuthorityKey: auth.PublicKey(), CPUs: ncpu})
 	if err != nil {
 		panic(fmt.Sprintf("bench: boot: %v", err))
 	}

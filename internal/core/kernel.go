@@ -49,6 +49,12 @@ type Config struct {
 	// kernel trusts. Zero-length means certification is disabled and
 	// every kernel placement request fails closed.
 	AuthorityKey []byte
+	// CPUs is the virtual CPU count (0 => 1). It sets the machine
+	// topology and sizes the thread scheduler to match: per-CPU
+	// context registers and TLBs in the MMU, one run queue per CPU in
+	// the scheduler. The default of one CPU preserves every
+	// single-processor semantic exactly.
+	CPUs int
 }
 
 // Kernel is a booted Paramecium system.
@@ -170,10 +176,14 @@ func (c *proxyCache) destroy() map[obj.Instance]*proxy.Proxy {
 // Boot assembles a kernel: machine, the four nucleus services, the
 // root of the name space, and an empty repository.
 func Boot(cfg Config) (*Kernel, error) {
-	machine := hw.New(cfg.Machine)
+	machineCfg := cfg.Machine
+	if cfg.CPUs > 0 {
+		machineCfg.CPUs = cfg.CPUs
+	}
+	machine := hw.New(machineCfg)
 	meter := machine.Meter
 	memSvc := mem.New(machine)
-	sched := threads.NewScheduler(meter)
+	sched := threads.NewSchedulerCPUs(meter, machine.NumCPUs())
 	events := event.New(machine, sched)
 	space := names.NewSpace(meter)
 	validator := cert.NewValidator(meter, cfg.AuthorityKey)
@@ -303,17 +313,50 @@ func (k *Kernel) DestroyDomain(d *Domain) error {
 	// The sweep holds regMu so it cannot interleave with a
 	// publishPlaced between its placement write and its publication —
 	// a racing Register into the dying context either lands entirely
-	// before the sweep (and is orphaned like any other name of the
-	// dead domain) or entirely after (and its binds fail on the
+	// before the sweep (and is unregistered below like any other name
+	// of the dead domain) or entirely after (and its binds fail on the
 	// condemned target).
 	k.regMu.Lock()
 	k.mu.Lock()
+	doomed := make(map[obj.Instance]bool)
 	for inst, ctx := range k.placement {
 		if ctx == d.Ctx {
+			doomed[inst] = true
 			delete(k.placement, inst)
 		}
 	}
 	k.mu.Unlock()
+	// Sweep the dead domain's names out of the name space. Without
+	// this, a later bind of such a name would resolve placement-less —
+	// PlacementOf's zero value is the kernel context — and reach the
+	// orphaned object directly instead of failing; dead services must
+	// fail lookups. regMu is still held, so no concurrent publication
+	// interleaves with the walk-and-unregister.
+	var dead []string
+	_ = k.Space.Walk(func(path string, inst obj.Instance) error {
+		if doomed[inst] {
+			dead = append(dead, path)
+		}
+		return nil
+	})
+	for _, path := range dead {
+		_ = k.Space.Unregister(path)
+	}
+	// View overrides can pin a doomed instance too — and resolve it
+	// placement-less, bypassing both the space sweep and the proxy
+	// condemn. Sweep every live domain's view (and the root view) of
+	// overrides on the dead domain's instances.
+	isDoomed := func(inst obj.Instance) bool { return doomed[inst] }
+	k.mu.Lock()
+	views := make([]*names.View, 0, len(k.domains)+1)
+	views = append(views, k.RootView)
+	for _, dom := range k.domains {
+		views = append(views, dom.View)
+	}
+	k.mu.Unlock()
+	for _, v := range views {
+		v.SweepInstances(isDoomed)
+	}
 	k.regMu.Unlock()
 	// Quiescent: drains, condemn and sweep are done. Release waiters
 	// now, whether or not the context destruction below succeeds.

@@ -62,6 +62,7 @@ var ErrNotBound = errors.New("event: event not bound")
 // binding is one registered call-back.
 type binding struct {
 	ctx      mmu.ContextID
+	cpu      mmu.CPUID // CPU the call-back is routed to
 	dispatch Dispatch
 	handler  Handler
 	name     string
@@ -89,30 +90,54 @@ type Service struct {
 	mu    sync.Mutex
 	irqs  map[hw.IRQLine]*binding
 	traps map[hw.TrapVector]*binding
+
+	// deliveryMu serializes deliveries per virtual CPU: a CPU runs one
+	// handler at a time, exactly as hardware delivers with interrupts
+	// masked, so the switch/restore pairs on one CPU's context register
+	// can never interleave. Consequence (also hardware-faithful): a
+	// handler must not synchronously raise an event routed to its own
+	// CPU — that is spinning with interrupts off. Raise it on another
+	// CPU or defer it to a thread.
+	deliveryMu []sync.Mutex
 }
 
 // New builds the service over a machine and a thread scheduler.
 func New(machine *hw.Machine, sched *threads.Scheduler) *Service {
 	return &Service{
-		machine: machine,
-		sched:   sched,
-		irqs:    make(map[hw.IRQLine]*binding),
-		traps:   make(map[hw.TrapVector]*binding),
+		machine:    machine,
+		sched:      sched,
+		irqs:       make(map[hw.IRQLine]*binding),
+		traps:      make(map[hw.TrapVector]*binding),
+		deliveryMu: make([]sync.Mutex, machine.NumCPUs()),
 	}
 }
 
 // RegisterIRQ binds an interrupt line to a call-back running in ctx
-// under the given dispatch policy.
+// under the given dispatch policy, routed to the boot CPU.
 func (s *Service) RegisterIRQ(line hw.IRQLine, name string, ctx mmu.ContextID, d Dispatch, h Handler) error {
+	return s.RegisterIRQOn(line, name, ctx, d, mmu.BootCPU, h)
+}
+
+// RegisterIRQOn is RegisterIRQ with an explicit target CPU: raw and
+// proto deliveries enter the call-back's context on that CPU's
+// register (so cross-context delivery charges land on it), and pop-up
+// threads — proto promotions and eager threads alike — are queued on
+// that CPU's run queue. Concurrent interrupts bound to distinct CPUs
+// dispatch and run genuinely in parallel; deliveries to one CPU
+// serialize, as hardware does with interrupts masked.
+func (s *Service) RegisterIRQOn(line hw.IRQLine, name string, ctx mmu.ContextID, d Dispatch, cpu mmu.CPUID, h Handler) error {
 	if h == nil {
 		return errors.New("event: nil handler")
+	}
+	if cpu < 0 || int(cpu) >= s.machine.NumCPUs() {
+		return fmt.Errorf("event: no CPU %d (machine has %d)", cpu, s.machine.NumCPUs())
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.irqs[line]; dup {
 		return fmt.Errorf("%w: irq %d", ErrBound, line)
 	}
-	b := &binding{ctx: ctx, dispatch: d, handler: h, name: name}
+	b := &binding{ctx: ctx, cpu: cpu, dispatch: d, handler: h, name: name}
 	if _, err := s.machine.SetIRQHandler(line, func(f *hw.TrapFrame) bool {
 		s.deliver(b, f)
 		return true
@@ -155,7 +180,12 @@ func (s *Service) RegisterTrap(vector hw.TrapVector, name string, ctx mmu.Contex
 		b.mu.Lock()
 		b.delivered++
 		b.mu.Unlock()
-		restore := s.enterContext(b.ctx)
+		// Traps are synchronous: the handler runs on the CPU that
+		// faulted, whichever one that was, serialized with every other
+		// delivery on that CPU.
+		s.deliveryMu[f.CPU].Lock()
+		defer s.deliveryMu[f.CPU].Unlock()
+		restore := s.enterContext(f.CPU, b.ctx)
 		defer restore()
 		return h(f)
 	})
@@ -175,7 +205,14 @@ func (s *Service) UnregisterTrap(vector hw.TrapVector) error {
 	return nil
 }
 
-// deliver runs one interrupt call-back under its dispatch policy.
+// deliver runs one interrupt call-back under its dispatch policy,
+// routed to the binding's CPU. The synchronous dispatches (raw, and
+// proto up to its promotion point) hold the CPU's delivery lock for
+// the handler's duration, so their register use never interleaves. An
+// eager pop-up runs WITHOUT the delivery lock (a real thread may
+// block, and holding the CPU's delivery slot across a block could
+// deadlock it): see the DispatchEager case for the resulting — and
+// deliberately weaker — multi-CPU guarantee.
 func (s *Service) deliver(b *binding, f *hw.TrapFrame) {
 	b.mu.Lock()
 	b.delivered++
@@ -183,15 +220,26 @@ func (s *Service) deliver(b *binding, f *hw.TrapFrame) {
 
 	switch b.dispatch {
 	case DispatchRaw:
-		restore := s.enterContext(b.ctx)
+		s.deliveryMu[b.cpu].Lock()
+		s.retarget(b, f)
+		restore := s.enterContext(b.cpu, b.ctx)
 		b.handler(f, nil)
 		restore()
+		s.deliveryMu[b.cpu].Unlock()
 	case DispatchProto:
-		restore := s.enterContext(b.ctx)
-		_, inline := s.sched.PopUpProto(b.name, func(t *threads.Thread) {
+		s.deliveryMu[b.cpu].Lock()
+		s.retarget(b, f)
+		restore := s.enterContext(b.cpu, b.ctx)
+		// The promotion path keeps the binding's CPU: a handler that
+		// blocks continues as a real thread on b.cpu's run queue. The
+		// delivery lock is NOT held by that continuation — only the
+		// inline portion (which by construction ends at the first
+		// block) runs under it.
+		_, inline := s.sched.PopUpProtoOn(int(b.cpu), b.name, func(t *threads.Thread) {
 			b.handler(f, t)
 		})
 		restore()
+		s.deliveryMu[b.cpu].Unlock()
 		b.mu.Lock()
 		if inline {
 			b.inline++
@@ -200,33 +248,58 @@ func (s *Service) deliver(b *binding, f *hw.TrapFrame) {
 		}
 		b.mu.Unlock()
 	case DispatchEager:
-		// The thread will run under the scheduler later; the handler
-		// itself is responsible for switching context if it touches
-		// domain memory (the scheduler runs threads in kernel context).
-		s.sched.PopUpEager(b.name, func(t *threads.Thread) {
-			restore := s.enterContext(b.ctx)
+		// The thread runs under the scheduler later, queued on the
+		// binding's CPU. Its body enters the binding's context exactly
+		// as before, but WITHOUT the CPU's delivery lock: an eager
+		// pop-up is a real thread that may block or yield, and holding
+		// the delivery slot across a block could deadlock the CPU. On
+		// a single-CPU scheduler bodies run one at a time, so the
+		// switch/restore pairs cannot interleave; on a multiprocessor
+		// scheduler, concurrent eager handlers bound to one CPU may
+		// interleave their courtesy register use — handlers needing
+		// exact context isolation use raw or proto dispatch (the
+		// scheduler/register unification that would close this is a
+		// roadmap item).
+		s.deliveryMu[b.cpu].Lock()
+		s.retarget(b, f)
+		s.deliveryMu[b.cpu].Unlock()
+		s.sched.PopUpEagerOn(int(b.cpu), b.name, func(t *threads.Thread) {
+			restore := s.enterContext(b.cpu, b.ctx)
+			defer restore()
 			b.handler(f, t)
-			restore()
 		})
 	}
 }
 
-// enterContext switches the MMU to the call-back's context if needed
-// and returns a function restoring the previous context. Delivering an
-// event into another protection domain costs two context switches —
-// exactly the cost a user-level handler pays over a kernel-resident
-// one.
-func (s *Service) enterContext(ctx mmu.ContextID) func() {
-	cur := s.machine.MMU.Current()
+// retarget points a routed delivery's frame at the binding's CPU. Ctx
+// is re-read under the CPU's delivery lock so it is the context that
+// is genuinely current on frame.CPU at delivery time — never a context
+// that was only ever current on the arrival CPU, and never another
+// delivery's transient handler context.
+func (s *Service) retarget(b *binding, f *hw.TrapFrame) {
+	if b.cpu != f.CPU {
+		f.CPU = b.cpu
+		f.Ctx = s.machine.MMU.CurrentOn(b.cpu)
+	}
+}
+
+// enterContext switches one CPU's MMU register to the call-back's
+// context if needed and returns a function restoring the previous
+// context. Delivering an event into another protection domain costs
+// two context switches — exactly the cost a user-level handler pays
+// over a kernel-resident one — and the charges (plus any
+// flush-on-switch TLB loss) land on the delivering CPU alone.
+func (s *Service) enterContext(cpu mmu.CPUID, ctx mmu.ContextID) func() {
+	cur := s.machine.MMU.CurrentOn(cpu)
 	if ctx == cur {
 		return func() {}
 	}
 	// Switch errors mean the context died; the event is delivered in
 	// the current context rather than dropped.
-	if err := s.machine.MMU.Switch(ctx); err != nil {
+	if err := s.machine.MMU.SwitchOn(cpu, ctx); err != nil {
 		return func() {}
 	}
-	return func() { _ = s.machine.MMU.Switch(cur) }
+	return func() { _ = s.machine.MMU.SwitchOn(cpu, cur) }
 }
 
 // IRQStats reports the counters of an interrupt binding.

@@ -1,0 +1,116 @@
+package hw
+
+import (
+	"sync/atomic"
+
+	"paramecium/internal/mmu"
+)
+
+// CPU is one virtual processor of the simulated machine. Each CPU owns
+// a current-context register and a private TLB (both live in the MMU,
+// keyed by the CPU's ID) and counts the traps and interrupts delivered
+// to it. Memory accesses performed through a CPU charge that CPU's TLB,
+// so translation locality is a per-CPU quantity.
+type CPU struct {
+	id mmu.CPUID
+	m  *Machine
+
+	leased atomic.Bool
+	traps  atomic.Uint64
+	irqs   atomic.Uint64
+}
+
+// ID reports the CPU's identifier.
+func (c *CPU) ID() mmu.CPUID { return c.id }
+
+// Machine reports the machine the CPU belongs to.
+func (c *CPU) Machine() *Machine { return c.m }
+
+// Current reports the CPU's active MMU context, lock-free.
+func (c *CPU) Current() mmu.ContextID { return c.m.MMU.CurrentOn(c.id) }
+
+// Switch makes id the CPU's active context.
+func (c *CPU) Switch(id mmu.ContextID) error { return c.m.MMU.SwitchOn(c.id, id) }
+
+// Load reads simulated memory through this CPU's MMU state.
+func (c *CPU) Load(ctx mmu.ContextID, va mmu.VAddr, buf []byte) error {
+	return c.m.accessOn(c.id, ctx, va, buf, mmu.AccessRead)
+}
+
+// Store writes simulated memory through this CPU's MMU state.
+func (c *CPU) Store(ctx mmu.ContextID, va mmu.VAddr, buf []byte) error {
+	return c.m.accessOn(c.id, ctx, va, buf, mmu.AccessWrite)
+}
+
+// Touch performs a zero-length access on this CPU; see Machine.Touch.
+func (c *CPU) Touch(ctx mmu.ContextID, va mmu.VAddr, access mmu.Access) error {
+	return c.TouchTagged(ctx, va, access, 0)
+}
+
+// TouchTagged is Touch with a caller-supplied token; see
+// Machine.TouchTagged.
+func (c *CPU) TouchTagged(ctx mmu.ContextID, va mmu.VAddr, access mmu.Access, token uint64) error {
+	_, err := c.m.translateWithFaults(c.id, ctx, va, access, token)
+	return err
+}
+
+// Stats reports the traps and interrupts delivered to this CPU.
+func (c *CPU) Stats() (traps, irqs uint64) {
+	return c.traps.Load(), c.irqs.Load()
+}
+
+// CPULease is a claim on one virtual CPU for the duration of an
+// operation. In-flight cross-domain calls acquire a lease so each call
+// runs on its own CPU when one is free — populating that CPU's TLB and
+// charging its crossings there — and shares a CPU (without disturbing
+// its holder's lease) when the machine is oversubscribed.
+type CPULease struct {
+	cpu   *CPU
+	owned bool
+}
+
+// CPU returns the leased CPU.
+func (l CPULease) CPU() *CPU { return l.cpu }
+
+// ID returns the leased CPU's identifier.
+func (l CPULease) ID() mmu.CPUID { return l.cpu.id }
+
+// Release returns the CPU to the free pool. Releasing a shared
+// (oversubscribed) lease is a no-op: only the claim that set the lease
+// flag clears it.
+func (l CPULease) Release() {
+	if l.owned {
+		l.cpu.leased.Store(false)
+	}
+}
+
+// AcquireCPU claims a free CPU, preferring an exclusive claim (each
+// concurrent caller lands on its own CPU) and falling back to sharing
+// when every CPU is busy. On a single-CPU machine it is free: there is
+// nothing to claim.
+func (m *Machine) AcquireCPU() CPULease {
+	n := len(m.cpus)
+	if n == 1 {
+		return CPULease{cpu: m.cpus[0]}
+	}
+	start := int(m.cpuRR.Add(1)-1) % n
+	for i := 0; i < n; i++ {
+		c := m.cpus[(start+i)%n]
+		if c.leased.CompareAndSwap(false, true) {
+			return CPULease{cpu: c, owned: true}
+		}
+	}
+	return CPULease{cpu: m.cpus[start]}
+}
+
+// NumCPUs reports the number of virtual CPUs.
+func (m *Machine) NumCPUs() int { return len(m.cpus) }
+
+// CPUByID returns one virtual CPU. It panics on an out-of-range ID.
+func (m *Machine) CPUByID(id mmu.CPUID) *CPU {
+	return m.cpus[id]
+}
+
+// CPUs returns the machine's CPUs in ID order. The slice is shared;
+// callers must not mutate it.
+func (m *Machine) CPUs() []*CPU { return m.cpus }

@@ -1,5 +1,6 @@
-// Package hw simulates the machine Paramecium runs on: a single CPU
-// with trap and interrupt vectors, an MMU (package mmu), physical
+// Package hw simulates the machine Paramecium runs on: N virtual CPUs
+// (Config.CPUs; one by default) with trap and interrupt vectors, an MMU
+// (package mmu) with per-CPU context registers and TLBs, physical
 // memory, I/O spaces and a small set of devices.
 //
 // The machine is deliberately not an instruction-set simulator.
@@ -71,6 +72,10 @@ type TrapFrame struct {
 	// key per-call state on it so concurrent faults on one page find
 	// their own call frames. Zero means "untagged access".
 	Token uint64
+	// CPU is the virtual CPU the trap or interrupt was delivered on.
+	// Handlers that switch contexts or charge TLB traffic use it to
+	// operate on the right per-CPU MMU state.
+	CPU mmu.CPUID
 }
 
 // TrapHandler handles a trap or interrupt. The handler for a page fault
@@ -90,6 +95,11 @@ type Machine struct {
 	Meter *clock.Meter
 	MMU   *mmu.MMU
 	Phys  *mmu.PhysMem
+
+	// cpus are the machine's virtual processors; cpuRR round-robins
+	// lease acquisition so concurrent callers spread across them.
+	cpus  []*CPU
+	cpuRR atomic.Uint64
 
 	// mu guards the handler tables, device list and IRQ state. The
 	// trap hot path (RaiseTrap) only ever read-locks it, so concurrent
@@ -113,6 +123,9 @@ type Config struct {
 	PhysFrames int        // number of physical frames (0 => 4096)
 	MMU        mmu.Config // MMU configuration
 	Costs      *clock.CostModel
+	// CPUs is the virtual CPU count (0 => 1). It overrides MMU.CPUs:
+	// the machine and its MMU always agree on the topology.
+	CPUs int
 }
 
 // New builds a machine.
@@ -125,14 +138,28 @@ func New(cfg Config) *Machine {
 	if cfg.Costs != nil {
 		costs = *cfg.Costs
 	}
+	ncpu := cfg.CPUs
+	if ncpu <= 0 {
+		ncpu = cfg.MMU.CPUs
+	}
+	if ncpu <= 0 {
+		ncpu = 1
+	}
+	mmuCfg := cfg.MMU
+	mmuCfg.CPUs = ncpu
 	meter := clock.NewMeter(costs)
-	return &Machine{
+	m := &Machine{
 		Meter:     meter,
-		MMU:       mmu.New(meter, cfg.MMU),
+		MMU:       mmu.New(meter, mmuCfg),
 		Phys:      mmu.NewPhysMem(frames),
 		trapTable: make(map[TrapVector]TrapHandler),
 		iospaces:  make(map[string]*IORegion),
 	}
+	m.cpus = make([]*CPU, ncpu)
+	for i := range m.cpus {
+		m.cpus[i] = &CPU{id: mmu.CPUID(i), m: m}
+	}
+	return m
 }
 
 // SetTrapHandler installs the handler for a trap vector, returning the
@@ -195,10 +222,17 @@ func (m *Machine) UnmaskIRQ(line IRQLine) error {
 // It returns the handler's verdict (meaningful for page faults) or
 // ErrNoHandler.
 func (m *Machine) RaiseTrap(frame *TrapFrame) (bool, error) {
+	if frame.CPU < 0 || int(frame.CPU) >= len(m.cpus) {
+		// Rejected up front: handlers index per-CPU state (delivery
+		// locks, context registers) by frame.CPU and would panic on a
+		// CPU the machine does not have.
+		return false, fmt.Errorf("hw: no CPU %d (machine has %d)", frame.CPU, len(m.cpus))
+	}
 	m.mu.RLock()
 	h := m.trapTable[frame.Vector]
 	m.mu.RUnlock()
 	m.trapsDelivered.Add(1)
+	m.cpus[frame.CPU].traps.Add(1)
 	m.Meter.Charge(clock.OpTrapEnter)
 	defer m.Meter.Charge(clock.OpTrapExit)
 	if h == nil {
@@ -207,12 +241,23 @@ func (m *Machine) RaiseTrap(frame *TrapFrame) (bool, error) {
 	return h(frame), nil
 }
 
-// RaiseIRQ delivers an asynchronous interrupt on the given line. Masked
-// lines accumulate pending counts; unhandled lines drop the interrupt
-// and count it.
+// RaiseIRQ delivers an asynchronous interrupt on the given line to the
+// boot CPU. Masked lines accumulate pending counts; unhandled lines
+// drop the interrupt and count it.
 func (m *Machine) RaiseIRQ(line IRQLine) error {
+	return m.RaiseIRQOn(line, mmu.BootCPU)
+}
+
+// RaiseIRQOn delivers an interrupt on the given line to one CPU: the
+// trap frame carries that CPU's ID and active context, so the handler
+// runs against the interrupted CPU's MMU state. Concurrent interrupts
+// on distinct CPUs dispatch in parallel.
+func (m *Machine) RaiseIRQOn(line IRQLine, cpu mmu.CPUID) error {
 	if line < 0 || line >= NumIRQLines {
 		return fmt.Errorf("%w: %d", ErrBadIRQ, line)
+	}
+	if cpu < 0 || int(cpu) >= len(m.cpus) {
+		return fmt.Errorf("hw: no CPU %d (machine has %d)", cpu, len(m.cpus))
 	}
 	m.mu.Lock()
 	if m.irqMasked[line] {
@@ -227,9 +272,10 @@ func (m *Machine) RaiseIRQ(line IRQLine) error {
 		return fmt.Errorf("%w: irq %d", ErrNoHandler, line)
 	}
 	m.irqsDelivered.Add(1)
+	m.cpus[cpu].irqs.Add(1)
 	m.mu.Unlock()
 	m.Meter.Charge(clock.OpInterrupt)
-	frame := &TrapFrame{Vector: -1, IRQ: line, Ctx: m.MMU.Current()}
+	frame := &TrapFrame{Vector: -1, IRQ: line, Ctx: m.MMU.CurrentOn(cpu), CPU: cpu}
 	h(frame)
 	return nil
 }
@@ -239,16 +285,18 @@ func (m *Machine) Stats() (traps, irqs, dropped uint64) {
 	return m.trapsDelivered.Load(), m.irqsDelivered.Load(), m.irqsDropped.Load()
 }
 
-// Load reads len(buf) bytes of simulated memory at va in context ctx.
-// Page faults are delivered as traps; if the page-fault handler reports
-// the fault resolved, the access is retried (once per page).
+// Load reads len(buf) bytes of simulated memory at va in context ctx
+// on the boot CPU. Page faults are delivered as traps; if the
+// page-fault handler reports the fault resolved, the access is retried
+// (once per page). Per-CPU accesses go through CPU.Load.
 func (m *Machine) Load(ctx mmu.ContextID, va mmu.VAddr, buf []byte) error {
-	return m.access(ctx, va, buf, mmu.AccessRead)
+	return m.accessOn(mmu.BootCPU, ctx, va, buf, mmu.AccessRead)
 }
 
-// Store writes buf to simulated memory at va in context ctx.
+// Store writes buf to simulated memory at va in context ctx on the
+// boot CPU.
 func (m *Machine) Store(ctx mmu.ContextID, va mmu.VAddr, buf []byte) error {
-	return m.access(ctx, va, buf, mmu.AccessWrite)
+	return m.accessOn(mmu.BootCPU, ctx, va, buf, mmu.AccessWrite)
 }
 
 // Touch performs a zero-length access of the given kind at va: it runs
@@ -261,15 +309,16 @@ func (m *Machine) Touch(ctx mmu.ContextID, va mmu.VAddr, access mmu.Access) erro
 // trap frame of any resulting page fault. Proxy invocation uses it
 // with AccessExec on interface entry slots: the token keys the call
 // frame, so any number of concurrent calls through the same entry page
-// each reach their own arguments and results.
+// each reach their own arguments and results. It runs on the boot CPU;
+// CPU.TouchTagged is the per-CPU form.
 func (m *Machine) TouchTagged(ctx mmu.ContextID, va mmu.VAddr, access mmu.Access, token uint64) error {
-	_, err := m.translateWithFaults(ctx, va, access, token)
+	_, err := m.translateWithFaults(mmu.BootCPU, ctx, va, access, token)
 	return err
 }
 
-func (m *Machine) access(ctx mmu.ContextID, va mmu.VAddr, buf []byte, kind mmu.Access) error {
+func (m *Machine) accessOn(cpu mmu.CPUID, ctx mmu.ContextID, va mmu.VAddr, buf []byte, kind mmu.Access) error {
 	for len(buf) > 0 {
-		pa, err := m.translateWithFaults(ctx, va, kind, 0)
+		pa, err := m.translateWithFaults(cpu, ctx, va, kind, 0)
 		if err != nil {
 			return err
 		}
@@ -292,11 +341,13 @@ func (m *Machine) access(ctx mmu.ContextID, va mmu.VAddr, buf []byte, kind mmu.A
 	return nil
 }
 
-// translateWithFaults translates va, delivering a page-fault trap on
-// failure and retrying once if the handler reports the fault resolved.
-func (m *Machine) translateWithFaults(ctx mmu.ContextID, va mmu.VAddr, kind mmu.Access, token uint64) (mmu.PAddr, error) {
+// translateWithFaults translates va on one CPU, delivering a
+// page-fault trap on failure and retrying once if the handler reports
+// the fault resolved. The trap frame carries the CPU, so the handler's
+// own crossings and TLB traffic charge against the faulting CPU.
+func (m *Machine) translateWithFaults(cpu mmu.CPUID, ctx mmu.ContextID, va mmu.VAddr, kind mmu.Access, token uint64) (mmu.PAddr, error) {
 	for attempt := 0; ; attempt++ {
-		pa, err := m.MMU.Translate(ctx, va, kind)
+		pa, err := m.MMU.TranslateOn(cpu, ctx, va, kind)
 		if err == nil {
 			return pa, nil
 		}
@@ -317,6 +368,7 @@ func (m *Machine) translateWithFaults(ctx mmu.ContextID, va mmu.VAddr, kind mmu.
 			Access: kind,
 			Fault:  f,
 			Token:  token,
+			CPU:    cpu,
 		})
 		if herr != nil {
 			return 0, fmt.Errorf("hw: unhandled page fault: %w", f)

@@ -1,11 +1,19 @@
 // Package mmu simulates a SPARC-flavoured memory management unit: MMU
-// contexts with per-context page tables, an ASID-tagged TLB, page
-// protections and fault reporting.
+// contexts with per-context page tables, per-CPU ASID-tagged TLBs and
+// context registers, page protections and fault reporting.
 //
 // The MMU is the protection substrate for the whole reproduction. The
 // Paramecium nucleus implements cross-domain calls, fault call-backs and
 // page sharing on top of the primitives here, exactly as the paper's
 // memory-management service does on real hardware.
+//
+// The machine may have any number of virtual CPUs (Config.CPUs). Each
+// CPU carries its own current-context register and its own TLB with its
+// own hit/miss/flush counters, so TLB locality is a per-CPU quantity
+// exactly as on real multiprocessors. Translation is sharded: the
+// contexts map is read-locked only to fetch a page table, and the walk
+// itself takes that context's own lock — unrelated domains fault and
+// translate fully in parallel.
 package mmu
 
 import (
@@ -151,6 +159,14 @@ type ContextID uint32
 // KernelContext is the MMU context the nucleus itself runs in.
 const KernelContext ContextID = 0
 
+// CPUID names one virtual CPU of the simulated machine. CPU 0 is the
+// boot CPU; every legacy single-CPU entry point operates on it.
+type CPUID int
+
+// BootCPU is the CPU the machine boots on, and the CPU every
+// non-suffixed (single-CPU compatibility) method operates on.
+const BootCPU CPUID = 0
+
 // PTE is a page table entry.
 type PTE struct {
 	Frame uint64
@@ -161,13 +177,34 @@ type PTE struct {
 	Tag any
 }
 
-// pageTable is a per-context sparse page table.
+// pageTable is a per-context sparse page table with its own lock, so
+// translation in one context never serializes against another.
 type pageTable struct {
+	mu      sync.RWMutex
 	entries map[uint64]PTE // keyed by VPN
+	// dead marks a table whose context has been destroyed. Operations
+	// fetch the table under the structure lock and then lock pt.mu;
+	// DestroyContext can complete in that window, so every operation
+	// re-checks dead under pt.mu — a stale fetch then fails exactly
+	// like a fresh lookup of the missing context would.
+	dead bool
 }
 
 func newPageTable() *pageTable {
 	return &pageTable{entries: make(map[uint64]PTE)}
+}
+
+// cpuState is one virtual CPU's share of the MMU: its current-context
+// register and its private TLB. mu guards the TLB (and serializes
+// same-CPU switches); the register is atomic so reads are lock-free.
+// States are stored by value in one contiguous array, padded to a
+// 64-byte stride, so two CPUs' registers and locks never share a
+// cache line.
+type cpuState struct {
+	current atomic.Uint32
+	mu      sync.Mutex
+	tlb     *tlb
+	_       [40]byte
 }
 
 // ErrNoContext is returned when an operation names an unknown context.
@@ -180,47 +217,73 @@ var ErrExists = errors.New("mmu: context already exists")
 // concurrent use.
 type MMU struct {
 	meter *clock.Meter
+	cpus  []cpuState
 
-	// current is the context register. Reads are lock-free; writes
-	// still happen under mu (Switch, DestroyContext ordering). It is
-	// scheduler state: cross-domain calls do not route through it (see
-	// CrossSwitch), so it never holds a call's transient target context.
-	current atomic.Uint32
-
+	// mu guards the contexts map structure only. Translation read-locks
+	// it briefly to fetch a page table; the walk itself runs under that
+	// context's own lock, so unrelated domains translate in parallel.
 	mu       sync.RWMutex
 	contexts map[ContextID]*pageTable
 	nextCtx  ContextID
-	tlb      *tlb
 	// FlushOnSwitch selects the non-ASID behaviour in which every
-	// context switch flushes the whole TLB (ablation F5).
+	// context switch flushes the switching CPU's whole TLB (ablation F5).
 	flushOnSwitch bool
 }
 
 // Config controls MMU construction.
 type Config struct {
-	TLBSize       int  // entries; 0 means DefaultTLBSize
+	TLBSize       int  // entries per CPU; 0 means DefaultTLBSize
 	FlushOnSwitch bool // flush TLB on every context switch
+	CPUs          int  // virtual CPU count; 0 means 1
 }
 
-// DefaultTLBSize is the TLB capacity used when Config.TLBSize is zero.
+// DefaultTLBSize is the per-CPU TLB capacity used when Config.TLBSize
+// is zero.
 const DefaultTLBSize = 64
 
 // New builds an MMU charging against meter. The kernel context (0) is
-// created automatically.
+// created automatically; every CPU boots with it current.
 func New(meter *clock.Meter, cfg Config) *MMU {
 	size := cfg.TLBSize
 	if size <= 0 {
 		size = DefaultTLBSize
 	}
+	ncpu := cfg.CPUs
+	if ncpu <= 0 {
+		ncpu = 1
+	}
 	m := &MMU{
 		meter:         meter,
+		cpus:          make([]cpuState, ncpu),
 		contexts:      make(map[ContextID]*pageTable),
 		nextCtx:       1,
-		tlb:           newTLB(size),
 		flushOnSwitch: cfg.FlushOnSwitch,
+	}
+	for i := range m.cpus {
+		m.cpus[i].tlb = newTLB(size)
 	}
 	m.contexts[KernelContext] = newPageTable()
 	return m
+}
+
+// NumCPUs reports the number of virtual CPUs.
+func (m *MMU) NumCPUs() int { return len(m.cpus) }
+
+// cpu returns the state of one virtual CPU, panicking on an
+// out-of-range ID (a programming error, like indexing past a slice).
+func (m *MMU) cpu(id CPUID) *cpuState {
+	if id < 0 || int(id) >= len(m.cpus) {
+		panic(fmt.Sprintf("mmu: no CPU %d (machine has %d)", id, len(m.cpus)))
+	}
+	return &m.cpus[id]
+}
+
+// pageTableOf fetches a context's page table under the structure lock.
+func (m *MMU) pageTableOf(id ContextID) (*pageTable, bool) {
+	m.mu.RLock()
+	pt, ok := m.contexts[id]
+	m.mu.RUnlock()
+	return pt, ok
 }
 
 // NewContext allocates a fresh MMU context and returns its ID.
@@ -233,90 +296,120 @@ func (m *MMU) NewContext() ContextID {
 	return id
 }
 
-// DestroyContext removes a context, invalidating all of its TLB entries.
-// Destroying the kernel context or the current context is an error.
+// DestroyContext removes a context, invalidating all of its TLB entries
+// on every CPU. Destroying the kernel context or a context that is
+// current on any CPU is an error.
 func (m *MMU) DestroyContext(id ContextID) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if id == KernelContext {
 		return errors.New("mmu: cannot destroy kernel context")
 	}
-	if id == ContextID(m.current.Load()) {
-		return errors.New("mmu: cannot destroy current context")
+	for i := range m.cpus {
+		if id == ContextID(m.cpus[i].current.Load()) {
+			return fmt.Errorf("mmu: cannot destroy context current on CPU %d", i)
+		}
 	}
-	if _, ok := m.contexts[id]; !ok {
+	pt, ok := m.contexts[id]
+	if !ok {
 		return ErrNoContext
 	}
 	delete(m.contexts, id)
-	m.tlb.invalidateContext(id)
+	// Shoot down the context's TLB entries everywhere and kill the
+	// orphaned table. Holding pt.mu excludes a walk already past the
+	// map check, so it cannot re-insert between the invalidation and
+	// our return; the dead mark makes any operation that fetched the
+	// table before the delete fail under pt.mu rather than mutate —
+	// or translate into and re-cache — a destroyed context.
+	pt.mu.Lock()
+	pt.dead = true
+	clear(pt.entries)
+	for i := range m.cpus {
+		c := &m.cpus[i]
+		c.mu.Lock()
+		c.tlb.invalidateContext(id)
+		c.mu.Unlock()
+	}
+	pt.mu.Unlock()
 	return nil
 }
 
 // HasContext reports whether id names a live context.
 func (m *MMU) HasContext(id ContextID) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	_, ok := m.contexts[id]
 	return ok
 }
 
-// Current reports the active context. Lock-free: the context register
-// is read on every cross-domain fault.
-func (m *MMU) Current() ContextID {
-	return ContextID(m.current.Load())
+// Current reports the boot CPU's active context. Lock-free: the context
+// register is read on every cross-domain fault.
+func (m *MMU) Current() ContextID { return m.CurrentOn(BootCPU) }
+
+// CurrentOn reports the active context of one CPU, lock-free.
+func (m *MMU) CurrentOn(cpu CPUID) ContextID {
+	return ContextID(m.cpu(cpu).current.Load())
 }
 
-// Switch makes id the active context, charging the context-switch cost.
-// Switching to the already-active context is free.
-func (m *MMU) Switch(id ContextID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+// Switch makes id the active context on the boot CPU.
+func (m *MMU) Switch(id ContextID) error { return m.SwitchOn(BootCPU, id) }
+
+// SwitchOn makes id the active context on one CPU, charging the
+// context-switch cost. Switching to the already-active context is free.
+// Only that CPU's register and TLB are touched, so switches on distinct
+// CPUs proceed in parallel.
+func (m *MMU) SwitchOn(cpu CPUID, id ContextID) error {
+	c := m.cpu(cpu)
+	// Hold the structure read-lock across the register write so
+	// DestroyContext's current-on-any-CPU check (under the write lock)
+	// can never interleave with a half-done switch.
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if _, ok := m.contexts[id]; !ok {
 		return ErrNoContext
 	}
-	if id == ContextID(m.current.Load()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id == ContextID(c.current.Load()) {
 		return nil
 	}
-	m.current.Store(uint32(id))
+	c.current.Store(uint32(id))
 	m.meter.Charge(clock.OpCtxSwitch)
 	if m.flushOnSwitch {
-		m.tlb.flush()
+		c.tlb.flush()
 		m.meter.Charge(clock.OpTLBFlush)
 	}
 	return nil
 }
 
 // CrossSwitch models one leg of a cross-domain call's context-switch
-// pair (caller→target on entry, target→caller on return): it validates
-// that the destination context exists and charges the switch cost —
-// plus the TLB flush under FlushOnSwitch — without moving the shared
-// context register. Each in-flight cross-domain call executes as if on
-// its own processor, so one call's transient target context is never
-// observable to a concurrent call, and the charge sequence is
-// deterministic under any interleaving: always exactly one OpCtxSwitch
-// per leg.
-func (m *MMU) CrossSwitch(to ContextID) error {
-	if !m.flushOnSwitch {
-		// ASID mode mutates nothing: an existence check plus an atomic
-		// meter charge. Read-lock so concurrent crossings — two per
-		// cross-domain call — do not serialize on the MMU.
-		m.mu.RLock()
-		_, ok := m.contexts[to]
-		m.mu.RUnlock()
-		if !ok {
-			return ErrNoContext
-		}
-		m.meter.Charge(clock.OpCtxSwitch)
-		return nil
-	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.contexts[to]; !ok {
+// pair on the boot CPU; see CrossSwitchOn.
+func (m *MMU) CrossSwitch(to ContextID) error { return m.CrossSwitchOn(BootCPU, to) }
+
+// CrossSwitchOn models one leg of a cross-domain call's context-switch
+// pair (caller→target on entry, target→caller on return) on the given
+// CPU: it validates that the destination context exists and charges the
+// switch cost — plus that CPU's TLB flush under FlushOnSwitch — without
+// moving the CPU's context register. Each in-flight cross-domain call
+// executes as if on its own processor, so one call's transient target
+// context is never observable to a concurrent call, and the charge
+// sequence is deterministic under any interleaving: always exactly one
+// OpCtxSwitch per leg.
+func (m *MMU) CrossSwitchOn(cpu CPUID, to ContextID) error {
+	m.mu.RLock()
+	_, ok := m.contexts[to]
+	m.mu.RUnlock()
+	if !ok {
 		return ErrNoContext
 	}
 	m.meter.Charge(clock.OpCtxSwitch)
-	m.tlb.flush()
-	m.meter.Charge(clock.OpTLBFlush)
+	if m.flushOnSwitch {
+		c := m.cpu(cpu)
+		c.mu.Lock()
+		c.tlb.flush()
+		c.mu.Unlock()
+		m.meter.Charge(clock.OpTLBFlush)
+	}
 	return nil
 }
 
@@ -327,36 +420,45 @@ func (m *MMU) Map(id ContextID, va VAddr, frame uint64, perm Perm) error {
 
 // MapTagged is Map with an owner tag stored in the PTE.
 func (m *MMU) MapTagged(id ContextID, va VAddr, frame uint64, perm Perm, tag any) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	pt, ok := m.contexts[id]
+	pt, ok := m.pageTableOf(id)
 	if !ok {
 		return ErrNoContext
 	}
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	if pt.dead {
+		return ErrNoContext
+	}
 	pt.entries[va.VPN()] = PTE{Frame: frame, Perm: perm, Valid: true, Tag: tag}
-	m.tlb.invalidate(id, va.VPN())
+	m.invalidateAll(id, va.VPN())
 	return nil
 }
 
 // Unmap removes the translation for the page containing va.
 func (m *MMU) Unmap(id ContextID, va VAddr) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	pt, ok := m.contexts[id]
+	pt, ok := m.pageTableOf(id)
 	if !ok {
 		return ErrNoContext
 	}
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	if pt.dead {
+		return ErrNoContext
+	}
 	delete(pt.entries, va.VPN())
-	m.tlb.invalidate(id, va.VPN())
+	m.invalidateAll(id, va.VPN())
 	return nil
 }
 
 // Protect changes the permissions of an existing mapping.
 func (m *MMU) Protect(id ContextID, va VAddr, perm Perm) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	pt, ok := m.contexts[id]
+	pt, ok := m.pageTableOf(id)
 	if !ok {
+		return ErrNoContext
+	}
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	if pt.dead {
 		return ErrNoContext
 	}
 	pte, ok := pt.entries[va.VPN()]
@@ -365,85 +467,155 @@ func (m *MMU) Protect(id ContextID, va VAddr, perm Perm) error {
 	}
 	pte.Perm = perm
 	pt.entries[va.VPN()] = pte
-	m.tlb.invalidate(id, va.VPN())
+	m.invalidateAll(id, va.VPN())
 	return nil
+}
+
+// invalidateAll shoots one page's entry out of every CPU's TLB. Callers
+// hold the page table's write lock, which excludes the translation walk
+// that could otherwise re-insert a stale entry concurrently.
+func (m *MMU) invalidateAll(id ContextID, vpn uint64) {
+	for i := range m.cpus {
+		c := &m.cpus[i]
+		c.mu.Lock()
+		c.tlb.invalidate(id, vpn)
+		c.mu.Unlock()
+	}
 }
 
 // Lookup returns the PTE for the page containing va without charging
 // any cycles (a debugger's view, not a hardware walk).
 func (m *MMU) Lookup(id ContextID, va VAddr) (PTE, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	pt, ok := m.contexts[id]
+	pt, ok := m.pageTableOf(id)
 	if !ok {
+		return PTE{}, false
+	}
+	pt.mu.RLock()
+	defer pt.mu.RUnlock()
+	if pt.dead {
 		return PTE{}, false
 	}
 	pte, ok := pt.entries[va.VPN()]
 	return pte, ok && pte.Valid
 }
 
-// Translate resolves va in context id for the given access kind,
-// charging TLB and page-table costs. On failure it returns a *Fault.
+// Translate resolves va in context id on the boot CPU.
 func (m *MMU) Translate(id ContextID, va VAddr, access Access) (PAddr, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.translateLocked(id, va, access)
+	return m.TranslateOn(BootCPU, id, va, access)
 }
 
-// TranslateCurrent resolves va in the active context.
+// TranslateCurrent resolves va in the boot CPU's active context.
 func (m *MMU) TranslateCurrent(va VAddr, access Access) (PAddr, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.translateLocked(ContextID(m.current.Load()), va, access)
+	return m.TranslateOn(BootCPU, ContextID(m.cpu(BootCPU).current.Load()), va, access)
 }
 
-func (m *MMU) translateLocked(id ContextID, va VAddr, access Access) (PAddr, error) {
-	pt, ok := m.contexts[id]
+// TranslateOn resolves va in context id for the given access kind on
+// one CPU, charging TLB and page-table costs against that CPU's TLB. On
+// failure it returns a *Fault. Translation is sharded: a hit touches
+// only the CPU's own TLB, and a miss walks the context's page table
+// under that context's lock — translations in unrelated contexts, or
+// on distinct CPUs, never serialize on a global mutex.
+func (m *MMU) TranslateOn(cpu CPUID, id ContextID, va VAddr, access Access) (PAddr, error) {
+	c := m.cpu(cpu)
+	pt, ok := m.pageTableOf(id)
 	if !ok {
 		return 0, &Fault{Kind: FaultBadContext, Ctx: id, Addr: va, Access: access}
 	}
 	vpn := va.VPN()
-	if e, hit := m.tlb.lookup(id, vpn); hit {
-		if !e.perm.Has(access.perm()) {
-			return 0, &Fault{Kind: FaultProtection, Ctx: id, Addr: va, Access: access, Present: e.perm}
+	c.mu.Lock()
+	if e, hit := c.tlb.lookup(id, vpn); hit {
+		frame, perm := e.frame, e.perm
+		c.mu.Unlock()
+		if !perm.Has(access.perm()) {
+			return 0, &Fault{Kind: FaultProtection, Ctx: id, Addr: va, Access: access, Present: perm}
 		}
-		return PAddr(e.frame<<PageShift | va.Offset()), nil
+		return PAddr(frame<<PageShift | va.Offset()), nil
 	}
-	// TLB miss: hardware walk of the page table.
+	c.mu.Unlock()
+	// TLB miss: hardware walk of the page table. The refill is inserted
+	// while still holding the table's read lock, so a concurrent
+	// Map/Unmap/Protect (write lock + shoot-down) cannot interleave
+	// between the walk and the insert and leave a stale TLB entry.
 	m.meter.Charge(clock.OpTLBMiss)
+	pt.mu.RLock()
+	if pt.dead {
+		pt.mu.RUnlock()
+		return 0, &Fault{Kind: FaultBadContext, Ctx: id, Addr: va, Access: access}
+	}
 	pte, ok := pt.entries[vpn]
 	if !ok || !pte.Valid {
+		pt.mu.RUnlock()
 		return 0, &Fault{Kind: FaultNoMapping, Ctx: id, Addr: va, Access: access}
 	}
 	if !pte.Perm.Has(access.perm()) {
+		pt.mu.RUnlock()
 		return 0, &Fault{Kind: FaultProtection, Ctx: id, Addr: va, Access: access, Present: pte.Perm}
 	}
-	m.tlb.insert(id, vpn, pte.Frame, pte.Perm)
+	c.mu.Lock()
+	c.tlb.insert(id, vpn, pte.Frame, pte.Perm)
+	c.mu.Unlock()
+	pt.mu.RUnlock()
 	return PAddr(pte.Frame<<PageShift | va.Offset()), nil
 }
 
-// FlushTLB empties the TLB, charging the flush cost.
+// FlushTLB empties every CPU's TLB, charging one flush per CPU.
 func (m *MMU) FlushTLB() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.tlb.flush()
+	for i := range m.cpus {
+		m.FlushTLBOn(CPUID(i))
+	}
+}
+
+// FlushTLBOn empties one CPU's TLB, charging the flush cost.
+func (m *MMU) FlushTLBOn(cpu CPUID) {
+	c := m.cpu(cpu)
+	c.mu.Lock()
+	c.tlb.flush()
+	c.mu.Unlock()
 	m.meter.Charge(clock.OpTLBFlush)
 }
 
-// TLBStats reports hits and misses since construction.
+// TLBStats reports hits and misses summed over every CPU (the
+// single-CPU view the original experiments read).
 func (m *MMU) TLBStats() (hits, misses uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.tlb.hits, m.tlb.misses
+	for i := range m.cpus {
+		s := m.TLBStatsOn(CPUID(i))
+		hits += s.Hits
+		misses += s.Misses
+	}
+	return hits, misses
+}
+
+// CPUTLBStats is a snapshot of one CPU's TLB counters. (The aggregate
+// TLBStats method predates it and keeps its two-value shape.)
+type CPUTLBStats struct {
+	Hits    uint64
+	Misses  uint64
+	Flushes uint64
+	Entries int // live entries at snapshot time
+}
+
+// TLBStatsOn reports one CPU's TLB counters. Each CPU's TLB is private,
+// so the stats measure that CPU's own translation locality — disjoint
+// from every other CPU's.
+func (m *MMU) TLBStatsOn(cpu CPUID) CPUTLBStats {
+	c := m.cpu(cpu)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CPUTLBStats{
+		Hits:    c.tlb.hits,
+		Misses:  c.tlb.misses,
+		Flushes: c.tlb.flushes,
+		Entries: len(c.tlb.entries),
+	}
 }
 
 // Mappings returns the number of valid mappings in a context.
 func (m *MMU) Mappings(id ContextID) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	pt, ok := m.contexts[id]
+	pt, ok := m.pageTableOf(id)
 	if !ok {
 		return 0
 	}
+	pt.mu.RLock()
+	defer pt.mu.RUnlock()
 	return len(pt.entries)
 }

@@ -4,12 +4,16 @@ package mmu
 // with FIFO replacement. FIFO (rather than LRU) keeps the replacement
 // behaviour trivially deterministic, which matters for reproducible
 // experiment output.
+//
+// Each virtual CPU owns one tlb; the owning cpu's mutex guards every
+// access, so the counters here are plain integers.
 type tlb struct {
 	size    int
 	entries map[tlbKey]*tlbEntry
 	fifo    []tlbKey // insertion order, oldest first
 	hits    uint64
 	misses  uint64
+	flushes uint64
 }
 
 type tlbKey struct {
@@ -79,4 +83,5 @@ func (t *tlb) invalidateContext(ctx ContextID) {
 func (t *tlb) flush() {
 	clear(t.entries)
 	t.fifo = t.fifo[:0]
+	t.flushes++
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"paramecium/internal/clock"
 	"paramecium/internal/obj"
@@ -18,27 +19,72 @@ import (
 // A View resolves a path by consulting, in order: its own override set
 // (instance overrides and aliases), then its parent view, and finally
 // the global Space at the root of the chain.
+//
+// The override set is copy-on-write, mirroring Space: a probe loads an
+// atomically published immutable snapshot and takes no lock at all, so
+// binds through arbitrarily deep view chains are lock-free end to end.
+// Mutations serialize on a writer lock, clone the set, and publish.
 type View struct {
 	space  *Space
 	parent *View
 	meter  *clock.Meter
 
-	mu        sync.RWMutex
+	wmu sync.Mutex                  // serializes override mutations
+	ovr atomic.Pointer[overrideSet] // current published snapshot
+}
+
+// overrideSet is one immutable snapshot of a view's local
+// reconfiguration. Once published via View.ovr it is never mutated;
+// writers clone it.
+type overrideSet struct {
 	overrides map[string]obj.Instance // canonical path -> instance
 	aliases   map[string]string       // canonical path -> canonical path
 }
 
+var emptyOverrides = &overrideSet{}
+
+// clone duplicates the set for a mutation, leaving room for one more
+// entry.
+func (os *overrideSet) clone() *overrideSet {
+	ns := &overrideSet{
+		overrides: make(map[string]obj.Instance, len(os.overrides)+1),
+		aliases:   make(map[string]string, len(os.aliases)+1),
+	}
+	for k, v := range os.overrides {
+		ns.overrides[k] = v
+	}
+	for k, v := range os.aliases {
+		ns.aliases[k] = v
+	}
+	return ns
+}
+
 // RootView builds the top-level view over a space.
 func RootView(space *Space) *View {
-	return &View{space: space, meter: space.meter,
-		overrides: make(map[string]obj.Instance), aliases: make(map[string]string)}
+	v := &View{space: space, meter: space.meter}
+	v.ovr.Store(emptyOverrides)
+	return v
 }
 
 // Child derives a view that inherits this one. The child starts with
 // no overrides of its own.
 func (v *View) Child() *View {
-	return &View{space: v.space, parent: v, meter: v.meter,
-		overrides: make(map[string]obj.Instance), aliases: make(map[string]string)}
+	c := &View{space: v.space, parent: v, meter: v.meter}
+	c.ovr.Store(emptyOverrides)
+	return c
+}
+
+// mutate clones the current override set, applies fn, and publishes
+// the result; fn returning an error publishes nothing.
+func (v *View) mutate(fn func(*overrideSet) error) error {
+	v.wmu.Lock()
+	defer v.wmu.Unlock()
+	ns := v.ovr.Load().clone()
+	if err := fn(ns); err != nil {
+		return err
+	}
+	v.ovr.Store(ns)
+	return nil
 }
 
 // Override makes path resolve to inst in this view (and views derived
@@ -54,10 +100,10 @@ func (v *View) Override(path string, inst obj.Instance) error {
 	if c == "/" {
 		return fmt.Errorf("%w: cannot override root", ErrBadPath)
 	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	v.overrides[c] = inst
-	return nil
+	return v.mutate(func(os *overrideSet) error {
+		os.overrides[c] = inst
+		return nil
+	})
 }
 
 // Alias redirects lookups of from to to (both resolved in this view's
@@ -76,10 +122,10 @@ func (v *View) Alias(from, to string) error {
 	if cf == ct {
 		return fmt.Errorf("%w: alias %q to itself", ErrBadPath, cf)
 	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	v.aliases[cf] = ct
-	return nil
+	return v.mutate(func(os *overrideSet) error {
+		os.aliases[cf] = ct
+		return nil
+	})
 }
 
 // ClearOverride removes an override or alias for path in this view.
@@ -88,29 +134,57 @@ func (v *View) ClearOverride(path string) error {
 	if err != nil {
 		return err
 	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if _, ok := v.overrides[c]; ok {
-		delete(v.overrides, c)
-		return nil
+	return v.mutate(func(os *overrideSet) error {
+		if _, ok := os.overrides[c]; ok {
+			delete(os.overrides, c)
+			return nil
+		}
+		if _, ok := os.aliases[c]; ok {
+			delete(os.aliases, c)
+			return nil
+		}
+		return fmt.Errorf("%w: no override for %q", ErrNotFound, c)
+	})
+}
+
+// SweepInstances removes every override whose instance satisfies
+// doomed. Domain teardown uses it so a view override pinned on a dead
+// domain's object fails future binds (falling through to the — also
+// swept — global space) instead of silently resolving placement-less
+// to the orphaned object. Aliases are untouched: they redirect to
+// paths, and the paths themselves fail after the sweep.
+func (v *View) SweepInstances(doomed func(obj.Instance) bool) {
+	v.wmu.Lock()
+	defer v.wmu.Unlock()
+	os := v.ovr.Load()
+	hit := false
+	for _, inst := range os.overrides {
+		if doomed(inst) {
+			hit = true
+			break
+		}
 	}
-	if _, ok := v.aliases[c]; ok {
-		delete(v.aliases, c)
-		return nil
+	if !hit {
+		return
 	}
-	return fmt.Errorf("%w: no override for %q", ErrNotFound, c)
+	ns := os.clone()
+	for p, inst := range ns.overrides {
+		if doomed(inst) {
+			delete(ns.overrides, p)
+		}
+	}
+	v.ovr.Store(ns)
 }
 
 // Overrides lists the paths overridden (directly or via alias) in this
 // view, sorted.
 func (v *View) Overrides() []string {
-	v.mu.RLock()
-	defer v.mu.RUnlock()
-	out := make([]string, 0, len(v.overrides)+len(v.aliases))
-	for p := range v.overrides {
+	os := v.ovr.Load()
+	out := make([]string, 0, len(os.overrides)+len(os.aliases))
+	for p := range os.overrides {
 		out = append(out, p)
 	}
-	for p := range v.aliases {
+	for p := range os.aliases {
 		out = append(out, p)
 	}
 	sort.Strings(out)
@@ -140,14 +214,13 @@ func (v *View) Bind(path string) (obj.Instance, error) {
 }
 
 // resolveOnce walks the view chain for one canonical path. It returns
-// either the bound instance, or a redirect target to retry with.
+// either the bound instance, or a redirect target to retry with. Each
+// probe loads the view's published snapshot — no lock anywhere on the
+// chain, matching the lock-free Space walk at its root.
 func (v *View) resolveOnce(c string) (obj.Instance, string, error) {
 	for w := v; w != nil; w = w.parent {
-		w.mu.RLock()
-		inst, okO := w.overrides[c]
-		target, okA := w.aliases[c]
-		w.mu.RUnlock()
-		if okO {
+		os := w.ovr.Load()
+		if inst, ok := os.overrides[c]; ok {
 			// Override hits cost one hop regardless of depth: the
 			// binding is immediate.
 			if v.meter != nil {
@@ -155,7 +228,7 @@ func (v *View) resolveOnce(c string) (obj.Instance, string, error) {
 			}
 			return inst, "", nil
 		}
-		if okA {
+		if target, ok := os.aliases[c]; ok {
 			if v.meter != nil {
 				v.meter.Charge(clock.OpNameLookupHop)
 			}

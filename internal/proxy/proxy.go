@@ -421,9 +421,16 @@ func (e *entryIface) fault(md *obj.MethodDecl, args []any) ([]any, error) {
 
 	// Touch the entry slot: unmapped, so this page-faults into the
 	// kernel, whose per-page handler performs the actual invocation.
+	// The call claims a virtual CPU for its duration: its entry-page
+	// translation, crossing charges and any flush-on-switch TLB loss
+	// all land on that CPU, so concurrent calls on distinct CPUs keep
+	// disjoint TLB state — per-CPU locality is measurable, not just
+	// switch counts.
 	slotVA := e.pageVA + mmu.VAddr(md.Slot()*8)
 	machine := p.factory.svc.Machine()
-	_ = machine.TouchTagged(p.callerCtx, slotVA, mmu.AccessExec, token)
+	lease := machine.AcquireCPU()
+	_ = lease.CPU().TouchTagged(p.callerCtx, slotVA, mmu.AccessExec, token)
+	lease.Release()
 
 	if !fr.done {
 		// The handler never saw the call. Either the proxy was closed
@@ -467,13 +474,15 @@ func (e *entryIface) handleFault(f *hw.TrapFrame) bool {
 
 	// The call runs in the caller's domain and crosses into the
 	// target's: one switch there, one back. Each leg is validated and
-	// charged by CrossSwitch without touching the machine's shared
-	// context register — every in-flight call is its own virtual
-	// processor, so concurrent calls never observe each other's
-	// transient context and the switch charges are deterministic.
+	// charged by CrossSwitchOn against the calling CPU (the one the
+	// fault was taken on, carried in the trap frame) without touching
+	// any CPU's context register — every in-flight call is its own
+	// virtual processor, so concurrent calls never observe each
+	// other's transient context and the switch charges are
+	// deterministic.
 	crossing := p.callerCtx != p.targetCtx
 	if crossing {
-		if err := machine.MMU.CrossSwitch(p.targetCtx); err != nil {
+		if err := machine.MMU.CrossSwitchOn(f.CPU, p.targetCtx); err != nil {
 			call.err = fmt.Errorf("proxy: target domain gone: %w", err)
 			call.done = true
 			return false
@@ -481,7 +490,7 @@ func (e *entryIface) handleFault(f *hw.TrapFrame) bool {
 	}
 	call.res, call.err = e.target.Invoke(call.method, call.args...)
 	if crossing {
-		if err := machine.MMU.CrossSwitch(p.callerCtx); err != nil {
+		if err := machine.MMU.CrossSwitchOn(f.CPU, p.callerCtx); err != nil {
 			// The caller's domain was destroyed while the call was in
 			// flight; there is no context to return to. Surface it
 			// alongside any error the target itself returned.

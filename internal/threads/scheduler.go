@@ -2,21 +2,57 @@ package threads
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"paramecium/internal/clock"
 )
 
-// Scheduler multiplexes simulated threads over the (single) simulated
-// processor, round-robin. It also owns the sleep queue and charges all
-// thread-related costs.
+// Scheduler multiplexes simulated threads over the machine's virtual
+// processors. With one CPU (NewScheduler) it dispatches round-robin
+// from a single queue, exactly as the original uniprocessor design;
+// with more (NewSchedulerCPUs) it runs one dispatch loop per CPU over
+// per-CPU run queues with randomized work stealing, so pop-up threads
+// from concurrent interrupts genuinely run on distinct CPUs. It also
+// owns the sleep queue and charges all thread-related costs.
 type Scheduler struct {
 	meter *clock.Meter
 
+	// mu is the global scheduler lock: sleepers, live count, thread
+	// IDs, and the wait-queue registrations of the synchronization
+	// primitives (sync.go). The per-CPU run queues have their own
+	// locks, nested inside mu.
 	mu       sync.Mutex
 	nextID   uint64
-	runq     []*Thread
 	sleepers []sleeper
 	live     int // spawned or promoted, not yet done
+
+	cpus   []runqueue
+	rr     atomic.Uint64 // round-robin placement for unaffined threads
+	nready atomic.Int64  // threads queued across all run queues
+
+	// Idle coordination for the multi-CPU dispatch loops. idleMu nests
+	// inside mu (enqueues signal while callers hold mu) and is never
+	// held while taking mu. nparked mirrors parked so the enqueue hot
+	// path can skip the mutex when no CPU is waiting.
+	idleMu   sync.Mutex
+	idleCond *sync.Cond
+	parked   int
+	nparked  atomic.Int64
+	runDone  bool
+
+	runMu  sync.Mutex // serializes RunUntilIdle calls
+	steals atomic.Uint64
+	parks  atomic.Uint64
+}
+
+// runqueue is one CPU's local deque: the owner pops from the front
+// (FIFO, preserving round-robin fairness), thieves steal from the
+// back. Queues live by value in one contiguous array, padded to a
+// 64-byte stride, so adjacent queues' locks do not false-share.
+type runqueue struct {
+	mu sync.Mutex
+	q  []*Thread
+	_  [32]byte
 }
 
 type sleeper struct {
@@ -24,13 +60,35 @@ type sleeper struct {
 	deadline uint64
 }
 
-// NewScheduler builds a scheduler charging against meter.
+// NewScheduler builds a single-CPU scheduler charging against meter.
 func NewScheduler(meter *clock.Meter) *Scheduler {
-	return &Scheduler{meter: meter}
+	return NewSchedulerCPUs(meter, 1)
+}
+
+// NewSchedulerCPUs builds a scheduler dispatching over ncpu virtual
+// CPUs (ncpu <= 0 means 1).
+func NewSchedulerCPUs(meter *clock.Meter, ncpu int) *Scheduler {
+	if ncpu <= 0 {
+		ncpu = 1
+	}
+	s := &Scheduler{meter: meter, cpus: make([]runqueue, ncpu)}
+	s.idleCond = sync.NewCond(&s.idleMu)
+	return s
 }
 
 // Meter exposes the scheduler's meter (used by the event service).
 func (s *Scheduler) Meter() *clock.Meter { return s.meter }
+
+// NumCPUs reports the number of virtual CPUs the scheduler dispatches
+// on.
+func (s *Scheduler) NumCPUs() int { return len(s.cpus) }
+
+// Steals reports how many threads have been taken from another CPU's
+// run queue since construction.
+func (s *Scheduler) Steals() uint64 { return s.steals.Load() }
+
+// Parks reports how many times an idle CPU parked waiting for work.
+func (s *Scheduler) Parks() uint64 { return s.parks.Load() }
 
 func (s *Scheduler) newThread(name string, proto bool) *Thread {
 	s.mu.Lock()
@@ -38,7 +96,7 @@ func (s *Scheduler) newThread(name string, proto bool) *Thread {
 	id := s.nextID
 	s.live++
 	s.mu.Unlock()
-	return &Thread{
+	t := &Thread{
 		id:        id,
 		name:      name,
 		sched:     s,
@@ -48,13 +106,27 @@ func (s *Scheduler) newThread(name string, proto bool) *Thread {
 		protoDone: make(chan bool, 1),
 		done:      make(chan struct{}),
 	}
+	t.cpu.Store(-1)
+	return t
 }
 
 // Spawn creates a real thread that will run fn when scheduled. The
 // full thread-creation cost is charged immediately.
 func (s *Scheduler) Spawn(name string, fn func(*Thread)) *Thread {
+	return s.SpawnOn(-1, name, fn)
+}
+
+// SpawnOn is Spawn with a CPU affinity: the thread is queued on (and
+// keeps returning to) the given CPU's run queue, unless stolen. A
+// negative cpu means no affinity (round-robin placement). The event
+// service uses it to route pop-up threads to the CPU an interrupt was
+// bound to.
+func (s *Scheduler) SpawnOn(cpu int, name string, fn func(*Thread)) *Thread {
 	s.meter.Charge(clock.OpThreadCreate)
 	t := s.newThread(name, false)
+	if cpu >= 0 && cpu < len(s.cpus) {
+		t.cpu.Store(int32(cpu))
+	}
 	go func() {
 		<-t.resume
 		t.setState(StateRunning)
@@ -63,7 +135,7 @@ func (s *Scheduler) Spawn(name string, fn func(*Thread)) *Thread {
 	}()
 	s.mu.Lock()
 	t.setState(StateReady)
-	s.readyLocked(t)
+	s.ready(t)
 	s.mu.Unlock()
 	return t
 }
@@ -73,6 +145,11 @@ func (s *Scheduler) Spawn(name string, fn func(*Thread)) *Thread {
 // proto-thread optimization is measured against).
 func (s *Scheduler) PopUpEager(name string, fn func(*Thread)) *Thread {
 	return s.Spawn(name, fn)
+}
+
+// PopUpEagerOn is PopUpEager with a CPU affinity.
+func (s *Scheduler) PopUpEagerOn(cpu int, name string, fn func(*Thread)) *Thread {
+	return s.SpawnOn(cpu, name, fn)
 }
 
 // PopUpProto runs fn as a proto-thread: it executes immediately on the
@@ -85,8 +162,20 @@ func (s *Scheduler) PopUpEager(name string, fn func(*Thread)) *Thread {
 // The returned thread handle reports, via Promoted, which path was
 // taken; ran is true when fn completed inline.
 func (s *Scheduler) PopUpProto(name string, fn func(*Thread)) (t *Thread, ran bool) {
+	return s.PopUpProtoOn(-1, name, fn)
+}
+
+// PopUpProtoOn is PopUpProto with a CPU affinity for the promotion
+// path: a proto-thread that blocks is queued on (and keeps returning
+// to) the given CPU, so a promoted interrupt handler stays on the CPU
+// its event was bound to. The inline fast path is unaffected. A
+// negative cpu means no affinity.
+func (s *Scheduler) PopUpProtoOn(cpu int, name string, fn func(*Thread)) (t *Thread, ran bool) {
 	s.meter.Charge(clock.OpProtoThread)
 	t = s.newThread(name, true)
+	if cpu >= 0 && cpu < len(s.cpus) {
+		t.cpu.Store(int32(cpu))
+	}
 	t.setState(StateRunning)
 	go func() {
 		fn(t)
@@ -113,9 +202,43 @@ func (s *Scheduler) finish(t *Thread) {
 	t.stop(true)
 }
 
-// readyLocked appends t to the ready queue; the caller holds s.mu.
-func (s *Scheduler) readyLocked(t *Thread) {
-	s.runq = append(s.runq, t)
+// ready queues t for dispatch: on its affine CPU when it has one, else
+// round-robin. Thread-state transitions call it holding s.mu; the run
+// queues have their own locks, so that nesting is the only ordering
+// requirement. The enqueue is visible to a concurrent dispatcher the
+// moment the queue lock drops — the thread may be popped (and its
+// resume buffered) before it has even parked; the baton protocol
+// absorbs this.
+func (s *Scheduler) ready(t *Thread) {
+	cpu := 0
+	if n := len(s.cpus); n > 1 {
+		if a := int(t.cpu.Load()); a >= 0 && a < n {
+			cpu = a
+		} else {
+			cpu = int(s.rr.Add(1)-1) % n
+		}
+	}
+	rq := &s.cpus[cpu]
+	// Count before enqueueing: quiesce declares the run done only when
+	// nready is zero under idleMu, so an enqueue in flight must be
+	// visible in the counter before (never after) it is visible in a
+	// queue — over-counting briefly just makes an idle CPU rescan;
+	// under-counting would let the run end with a thread stranded.
+	s.nready.Add(1)
+	rq.mu.Lock()
+	rq.q = append(rq.q, t)
+	rq.mu.Unlock()
+	// Wake a parked CPU — but skip the (global) idleMu entirely when
+	// nobody is parked, so saturated enqueues stay on per-CPU locks.
+	// No wakeup is lost: a parker bumps nparked before re-checking
+	// nready under idleMu, and this enqueue bumped nready before
+	// reading nparked; sequentially consistent atomics forbid both
+	// sides observing the other's pre-update value.
+	if len(s.cpus) > 1 && s.nparked.Load() > 0 {
+		s.idleMu.Lock()
+		s.idleCond.Signal()
+		s.idleMu.Unlock()
+	}
 }
 
 // Wake moves a blocked thread to the ready queue. Synchronization
@@ -129,14 +252,27 @@ func (s *Scheduler) Wake(t *Thread) {
 
 func (s *Scheduler) wakeLocked(t *Thread) {
 	t.setState(StateReady)
-	s.readyLocked(t)
+	s.ready(t)
 }
 
-// RunUntilIdle dispatches ready threads until none remain. When the
-// ready queue drains but threads are sleeping on the virtual clock,
-// the clock is advanced to the earliest deadline and the sleepers are
-// woken. It returns the number of dispatches performed.
+// RunUntilIdle dispatches ready threads until none remain. When every
+// run queue drains but threads are sleeping on the virtual clock, the
+// clock is advanced to the earliest deadline and the sleepers are
+// woken. With one CPU it dispatches inline on the caller, round-robin,
+// exactly as the original uniprocessor scheduler; with more it runs
+// one dispatch loop per CPU, each popping its local queue, stealing
+// from random victims when empty, and parking when there is nothing to
+// steal. It returns the number of dispatches performed.
 func (s *Scheduler) RunUntilIdle() int {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	if len(s.cpus) == 1 {
+		return s.runSequential()
+	}
+	return s.runParallel()
+}
+
+func (s *Scheduler) runSequential() int {
 	dispatches := 0
 	for {
 		t := s.next()
@@ -144,55 +280,184 @@ func (s *Scheduler) RunUntilIdle() int {
 			return dispatches
 		}
 		dispatches++
-		s.meter.Charge(clock.OpSchedule)
-		t.resume <- struct{}{}
-		<-t.parked // until the thread stops running again
+		s.dispatch(0, t)
 	}
 }
 
-// next pops the next ready thread, advancing virtual time over sleep
-// gaps when necessary. It returns nil when the system is idle.
+// dispatch hands the processor to t and waits for it to stop running.
+func (s *Scheduler) dispatch(cpu int, t *Thread) {
+	t.cpu.Store(int32(cpu))
+	s.meter.Charge(clock.OpSchedule)
+	t.resume <- struct{}{}
+	<-t.parked // until the thread stops running again
+}
+
+// next pops the next ready thread for the single-CPU path, advancing
+// virtual time over sleep gaps when necessary. It returns nil when the
+// system is idle. Holding s.mu across the empty-queue check and the
+// clock advance keeps them atomic against concurrent Spawns, exactly
+// as the original single-runqueue scheduler behaved.
 func (s *Scheduler) next() *Thread {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
-		if len(s.runq) > 0 {
-			t := s.runq[0]
-			s.runq = s.runq[1:]
+		if t := s.pop(0); t != nil {
 			return t
 		}
-		if len(s.sleepers) == 0 {
+		if !s.advanceDueLocked() {
 			return nil
 		}
-		// Advance the clock to the earliest deadline and wake the due.
-		earliest := s.sleepers[0].deadline
-		for _, sl := range s.sleepers[1:] {
-			if sl.deadline < earliest {
-				earliest = sl.deadline
-			}
-		}
-		now := s.meter.Clock.Now()
-		if earliest > now {
-			s.meter.Clock.Advance(earliest - now)
-		}
-		now = s.meter.Clock.Now()
-		var rest []sleeper
-		for _, sl := range s.sleepers {
-			if sl.deadline <= now {
-				s.wakeLocked(sl.t)
-			} else {
-				rest = append(rest, sl)
-			}
-		}
-		s.sleepers = rest
 	}
+}
+
+// pop takes the oldest thread from one CPU's queue.
+func (s *Scheduler) pop(cpu int) *Thread {
+	rq := &s.cpus[cpu]
+	rq.mu.Lock()
+	if len(rq.q) == 0 {
+		rq.mu.Unlock()
+		return nil
+	}
+	t := rq.q[0]
+	rq.q = rq.q[1:]
+	rq.mu.Unlock()
+	s.nready.Add(-1)
+	return t
+}
+
+// stealFor scans the other CPUs' queues from a random starting victim,
+// taking the newest thread (the back of the deque) from the first
+// non-empty one.
+func (s *Scheduler) stealFor(me int, rng *clock.Rand) *Thread {
+	n := len(s.cpus)
+	start := rng.Intn(n)
+	for i := 0; i < n; i++ {
+		v := (start + i) % n
+		if v == me {
+			continue
+		}
+		rq := &s.cpus[v]
+		rq.mu.Lock()
+		if ln := len(rq.q); ln > 0 {
+			t := rq.q[ln-1]
+			rq.q = rq.q[:ln-1]
+			rq.mu.Unlock()
+			s.nready.Add(-1)
+			s.steals.Add(1)
+			return t
+		}
+		rq.mu.Unlock()
+	}
+	return nil
+}
+
+// advanceDueLocked advances the virtual clock to the earliest sleep
+// deadline and wakes every due sleeper. It returns false when there is
+// nothing to advance to (no sleepers). Callers hold s.mu.
+func (s *Scheduler) advanceDueLocked() bool {
+	if len(s.sleepers) == 0 {
+		return false
+	}
+	earliest := s.sleepers[0].deadline
+	for _, sl := range s.sleepers[1:] {
+		if sl.deadline < earliest {
+			earliest = sl.deadline
+		}
+	}
+	now := s.meter.Clock.Now()
+	if earliest > now {
+		s.meter.Clock.Advance(earliest - now)
+	}
+	now = s.meter.Clock.Now()
+	var rest []sleeper
+	for _, sl := range s.sleepers {
+		if sl.deadline <= now {
+			s.wakeLocked(sl.t)
+		} else {
+			rest = append(rest, sl)
+		}
+	}
+	s.sleepers = rest
+	return true
+}
+
+// runParallel runs one dispatch loop per CPU until the whole system is
+// idle: every queue empty, every CPU parked, and no sleepers left to
+// advance the clock to.
+func (s *Scheduler) runParallel() int {
+	s.idleMu.Lock()
+	s.runDone = false
+	s.parked = 0
+	s.nparked.Store(0)
+	s.idleMu.Unlock()
+	var dispatches atomic.Int64
+	var wg sync.WaitGroup
+	for i := range s.cpus {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			s.dispatchLoop(cpu, &dispatches)
+		}(i)
+	}
+	wg.Wait()
+	return int(dispatches.Load())
+}
+
+func (s *Scheduler) dispatchLoop(cpu int, dispatches *atomic.Int64) {
+	rng := clock.NewRand(uint64(cpu)*0x9e3779b9 + 1)
+	for {
+		t := s.pop(cpu)
+		if t == nil {
+			t = s.stealFor(cpu, rng)
+		}
+		if t != nil {
+			dispatches.Add(1)
+			s.dispatch(cpu, t)
+			continue
+		}
+		if s.quiesce() {
+			return
+		}
+	}
+}
+
+// quiesce parks an idle CPU until work appears, returning true when the
+// run is over. The last CPU to park is responsible for the virtual
+// clock: if every queue is empty and threads sleep on the clock, it
+// advances time and wakes them; if there is nothing left at all, it
+// declares the run done and releases everyone.
+func (s *Scheduler) quiesce() (done bool) {
+	s.idleMu.Lock()
+	s.parked++
+	s.nparked.Add(1)
+	if s.parked == len(s.cpus) && s.nready.Load() == 0 {
+		// advanceDueLocked needs s.mu, which must never be acquired
+		// under idleMu; drop and re-take. Another CPU waking in the
+		// window only delays the done declaration, never corrupts it.
+		s.idleMu.Unlock()
+		s.mu.Lock()
+		progressed := s.nready.Load() > 0 || s.advanceDueLocked()
+		s.mu.Unlock()
+		s.idleMu.Lock()
+		if !progressed && s.nready.Load() == 0 && s.parked == len(s.cpus) && !s.runDone {
+			s.runDone = true
+			s.idleCond.Broadcast()
+		}
+	}
+	for !s.runDone && s.nready.Load() == 0 {
+		s.parks.Add(1)
+		s.idleCond.Wait()
+	}
+	done = s.runDone
+	s.parked--
+	s.nparked.Add(-1)
+	s.idleMu.Unlock()
+	return done
 }
 
 // ReadyCount reports the number of threads waiting to run.
 func (s *Scheduler) ReadyCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.runq)
+	return int(s.nready.Load())
 }
 
 // LiveCount reports spawned/promoted threads that have not finished.

@@ -9,9 +9,11 @@
 // a real thread. This allows us to provide fast interrupt processing
 // of user code with proper thread semantics."
 //
-// Threads are cooperative: exactly one simulated thread runs at a time,
-// scheduled round-robin. Each simulated thread is backed by a host
-// goroutine exchanging a baton with the scheduler; all costs (thread
+// Threads are cooperative: at most one simulated thread runs per
+// virtual CPU (one CPU, scheduled round-robin, unless the scheduler is
+// built with NewSchedulerCPUs, which dispatches work-stealing across
+// per-CPU run queues). Each simulated thread is backed by a host
+// goroutine exchanging a baton with a dispatcher; all costs (thread
 // creation, promotion, scheduling decisions) are charged in virtual
 // cycles, so the host goroutine machinery does not pollute the
 // experiments.
@@ -20,6 +22,7 @@ package threads
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // State is a thread's scheduling state.
@@ -58,6 +61,11 @@ type Thread struct {
 	name  string
 	sched *Scheduler
 
+	// cpu is the virtual CPU the thread last ran on (its affinity for
+	// requeueing), or -1 before the first dispatch. Stealing rewrites
+	// it at the next dispatch.
+	cpu atomic.Int32
+
 	// mu guards the mutable fields below; the scheduler's own lock
 	// orders cross-thread transitions.
 	mu       sync.Mutex
@@ -89,6 +97,10 @@ func (t *Thread) State() State {
 	defer t.mu.Unlock()
 	return t.state
 }
+
+// LastCPU reports the virtual CPU the thread last ran on, or -1 if it
+// has not been dispatched yet.
+func (t *Thread) LastCPU() int { return int(t.cpu.Load()) }
 
 // Promoted reports whether this thread began life as a proto-thread
 // and was promoted to a real thread.
@@ -136,7 +148,7 @@ func (t *Thread) Yield() {
 		s.chargePromotion()
 	}
 	t.setState(StateReady)
-	s.readyLocked(t)
+	s.ready(t)
 	s.mu.Unlock()
 	t.stop(false)
 	<-t.resume

@@ -37,6 +37,16 @@ func WithMachine(mc MachineConfig) Option {
 	return func(c *core.Config) { c.Machine = mc }
 }
 
+// WithCPUs boots the machine with n virtual CPUs: per-CPU context
+// registers and TLBs in the MMU, one run queue per CPU in the
+// work-stealing thread scheduler, and per-CPU event routing. The
+// default (and n <= 1) is a single CPU, which preserves every
+// uniprocessor semantic — including deterministic cycle counts —
+// exactly.
+func WithCPUs(n int) Option {
+	return func(c *core.Config) { c.CPUs = n }
+}
+
 // Boot assembles a Paramecium system: the simulated machine and the
 // nucleus — "a protected and trusted component which implements only
 // those services that cannot be moved into the application without
@@ -64,6 +74,9 @@ type System struct {
 // Cycles reports the machine's virtual clock: total cycles charged
 // since boot.
 func (s *System) Cycles() uint64 { return s.k.Meter.Clock.Now() }
+
+// NumCPUs reports the number of virtual CPUs the system booted with.
+func (s *System) NumCPUs() int { return s.k.Machine.NumCPUs() }
 
 // NewObject creates an empty object of the given class, wired to the
 // system's cycle meter. Export interfaces with AddInterface and bind

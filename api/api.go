@@ -31,8 +31,33 @@ type InterfaceDecl = obj.InterfaceDecl
 type Invoker = obj.Invoker
 
 // MethodHandle is a pre-resolved method binding whose Call dispatches
-// by slot index with no per-call name lookup or lock.
+// by slot index with no per-call name lookup or lock. CallInto is the
+// allocation-free variant: the caller supplies the result buffer, and
+// a method bound in the buffer-threading form (BindInto) appends its
+// results without allocating.
 type MethodHandle = obj.MethodHandle
+
+// MethodInto is the buffer-threading form of a method implementation:
+// results are appended to a caller-owned slice, which is what keeps
+// the single-call invocation hot path allocation-free. Bind one with
+// BoundInterface.BindInto.
+type MethodInto = obj.MethodInto
+
+// Batch is an ordered list of pre-resolved invocations executed
+// together. Consecutive entries resolved through one cross-domain
+// proxy are vectored across the protection boundary in a single
+// crossing — one trap, one context-switch pair, N slot dispatches —
+// amortizing the fixed crossing cost over the group. Per-entry
+// results and errors are read back with Results.
+type Batch = obj.Batch
+
+// BatchCall is one entry of a Batch.
+type BatchCall = obj.BatchCall
+
+// Batcher executes a group of pre-resolved calls in one protection
+// crossing; the cross-domain proxy implements it. Custom Invoker
+// implementations can supply their own via NewBatchableHandle.
+type Batcher = obj.Batcher
 
 // Instance is anything that can be registered in, and bound from, the
 // name space: an object, a composition, an interposing agent or a
@@ -96,3 +121,14 @@ func MustInterfaceDecl(name string, methods ...MethodDecl) *InterfaceDecl {
 func NewMethodHandle(decl *MethodDecl, dispatch Method) MethodHandle {
 	return obj.NewMethodHandle(decl, dispatch)
 }
+
+// NewBatchableHandle is NewMethodHandle for Invoker implementations
+// that can execute grouped calls in one crossing and/or thread
+// caller-provided result buffers; see obj.NewBatchableHandle.
+func NewBatchableHandle(decl *MethodDecl, dispatch Method, into MethodInto, batcher Batcher, key any) MethodHandle {
+	return obj.NewBatchableHandle(decl, dispatch, into, batcher, key)
+}
+
+// NewBatch returns an empty batch with room for n entries. A batch is
+// reusable via Reset; see Batch.
+func NewBatch(n int) *Batch { return obj.NewBatch(n) }

@@ -6,6 +6,9 @@ package paramecium_test
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"paramecium"
@@ -255,5 +258,242 @@ func TestOptions(t *testing.T) {
 	}
 	if sys.Cycles() == 0 {
 		t.Fatal("invocation charged no cycles")
+	}
+}
+
+// ExampleDomain_CallBatch vectors many cross-domain calls into one
+// protection crossing: the batch pays the trap and context-switch
+// pair once for the whole group.
+func ExampleDomain_CallBatch() {
+	sys, err := paramecium.Boot()
+	if err != nil {
+		panic(err)
+	}
+	decl := api.MustInterfaceDecl("example.acc.v1",
+		api.MethodDecl{Name: "add", NumIn: 1, NumOut: 1})
+	acc := sys.NewObject("accumulator")
+	sum := 0
+	bi, err := acc.AddInterface(decl, &sum)
+	if err != nil {
+		panic(err)
+	}
+	bi.MustBind("add", func(args ...any) ([]any, error) {
+		sum += args[0].(int)
+		return []any{sum}, nil
+	})
+	server := sys.NewDomain("server")
+	if err := server.Register("/services/acc", acc); err != nil {
+		panic(err)
+	}
+
+	client := sys.NewDomain("client")
+	h, err := client.Bind("/services/acc")
+	if err != nil {
+		panic(err)
+	}
+	add, err := h.Resolve("example.acc.v1", "add")
+	if err != nil {
+		panic(err)
+	}
+
+	b := h.Batch(4)
+	for i := 1; i <= 4; i++ {
+		if err := b.Add(add, i); err != nil {
+			panic(err)
+		}
+	}
+	if err := client.CallBatch(b); err != nil {
+		panic(err)
+	}
+	res, _ := b.Results(3)
+	fmt.Println("sum =", res[0])
+	// Output:
+	// sum = 10
+}
+
+// TestBatchAmortizesCrossings: through the public API, a batch of N
+// cross-domain calls costs strictly fewer virtual cycles than N
+// single calls of the same method — the vectored plane's whole point.
+func TestBatchAmortizesCrossings(t *testing.T) {
+	boot := func() (*paramecium.System, api.MethodHandle, *paramecium.Domain) {
+		sys, err := paramecium.Boot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		decl := api.MustInterfaceDecl("bench.v1",
+			api.MethodDecl{Name: "inc", NumIn: 0, NumOut: 1})
+		o := sys.NewObject("counter")
+		n := 0
+		bi, err := o.AddInterface(decl, &n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bi.MustBind("inc", func(...any) ([]any, error) { n++; return []any{n}, nil })
+		server := sys.NewDomain("server")
+		if err := server.Register("/s/c", o); err != nil {
+			t.Fatal(err)
+		}
+		client := sys.NewDomain("client")
+		h, err := client.Bind("/s/c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc, err := h.Resolve("bench.v1", "inc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys, inc, client
+	}
+
+	const size = 16
+	sysA, incA, _ := boot()
+	startA := sysA.Cycles()
+	for i := 0; i < size; i++ {
+		if _, err := incA.Call(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	single := sysA.Cycles() - startA
+
+	sysB, incB, clientB := boot()
+	b := paramecium.NewBatch(size)
+	for i := 0; i < size; i++ {
+		if err := b.Add(incB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	startB := sysB.Cycles()
+	if err := clientB.CallBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	batched := sysB.Cycles() - startB
+
+	if batched*4 > single {
+		t.Fatalf("batch of %d cost %d cycles vs %d for singles: less than 4x amortization", size, batched, single)
+	}
+	for i := 0; i < size; i++ {
+		res, err := b.Results(i)
+		if err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+		if res[0].(int) != i+1 {
+			t.Fatalf("entry %d = %v, want in-order results", i, res[0])
+		}
+	}
+}
+
+// TestBatchIntoDestroyedDomainFails: batches drain like single calls —
+// destroying the server domain fails every entry of a later batch
+// instead of reaching freed state.
+func TestBatchIntoDestroyedDomainFails(t *testing.T) {
+	sys, err := paramecium.Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decl := api.MustInterfaceDecl("gone.v1",
+		api.MethodDecl{Name: "f", NumIn: 0, NumOut: 0})
+	o := sys.NewObject("victim")
+	bi, err := o.AddInterface(decl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	bi.MustBind("f", func(...any) ([]any, error) { ran = true; return nil, nil })
+	server := sys.NewDomain("server")
+	if err := server.Register("/s/victim", o); err != nil {
+		t.Fatal(err)
+	}
+	client := sys.NewDomain("client")
+	h, err := client.Bind("/s/victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := h.Resolve("gone.v1", "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	b := paramecium.NewBatch(3)
+	for i := 0; i < 3; i++ {
+		if err := b.Add(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := client.CallBatch(b); err == nil {
+		t.Fatal("batch into destroyed domain reported no error")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := b.Results(i); err == nil {
+			t.Fatalf("entry %d carried no error", i)
+		}
+	}
+	if ran {
+		t.Fatal("method executed in a destroyed domain")
+	}
+}
+
+// TestSharedLeasesUnderUniprocessorStress: a WithCPUs(1) system under
+// concurrent cross-domain load must oversubscribe its single CPU —
+// AcquireCPU falls back to sharing, and the forced shares are counted
+// and surfaced, quantifying that the workload wants more CPUs.
+func TestSharedLeasesUnderUniprocessorStress(t *testing.T) {
+	sys, err := paramecium.Boot(paramecium.WithCPUs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decl := api.MustInterfaceDecl("stress.v1",
+		api.MethodDecl{Name: "inc", NumIn: 0, NumOut: 1})
+	o := sys.NewObject("counter")
+	var n atomic.Int64
+	bi, err := o.AddInterface(decl, &n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi.MustBind("inc", func(...any) ([]any, error) {
+		// Yield inside the call so concurrent callers genuinely overlap
+		// the CPU-lease window even on a GOMAXPROCS=1 host.
+		runtime.Gosched()
+		return []any{n.Add(1)}, nil
+	})
+	server := sys.NewDomain("server")
+	if err := server.Register("/s/counter", o); err != nil {
+		t.Fatal(err)
+	}
+	client := sys.NewDomain("client")
+	h, err := client.Bind("/s/counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := h.Resolve("stress.v1", "inc")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const each = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if _, err := inc.Call(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n.Load() != workers*each {
+		t.Fatalf("count = %d, want %d", n.Load(), workers*each)
+	}
+	if sys.SharedCPULeases() == 0 {
+		t.Fatalf("no shared CPU leases counted across %d concurrent calls on one CPU", workers*each)
+	}
+	if sys.NumCPUs() != 1 {
+		t.Fatalf("NumCPUs = %d", sys.NumCPUs())
 	}
 }

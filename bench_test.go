@@ -61,7 +61,11 @@ func BenchmarkT1_Invocation(b *testing.B) {
 }
 
 // newBenchCounter builds a meterless counter object so the Invoke-vs-
-// handle pair below measures host-machine dispatch cost only.
+// handle pair below measures host-machine dispatch cost only. The
+// method is bound in the buffer-threading form and returns its state
+// pointer — the paper's interfaces are "methods, state pointers and
+// type information" — so a caller that supplies the result buffer
+// completes the whole invocation with zero allocations.
 func newBenchCounter(b *testing.B) obj.Invoker {
 	b.Helper()
 	decl := obj.MustInterfaceDecl("bench.counter.v1", obj.MethodDecl{Name: "inc", NumIn: 0, NumOut: 1})
@@ -71,7 +75,10 @@ func newBenchCounter(b *testing.B) obj.Invoker {
 	if err != nil {
 		b.Fatal(err)
 	}
-	bi.MustBind("inc", func(...any) ([]any, error) { n++; return []any{n}, nil })
+	bi.MustBindInto("inc", func(out []any, _ ...any) ([]any, error) {
+		n++
+		return append(out, &n), nil
+	})
 	iv, _ := o.Iface("bench.counter.v1")
 	return iv
 }
@@ -79,8 +86,9 @@ func newBenchCounter(b *testing.B) obj.Invoker {
 // BenchmarkInvokeString and BenchmarkInvokeHandle are the invocation
 // microbenchmark pair for the pre-resolved handle redesign: the same
 // bound method called through the string-keyed compatibility path
-// (name lookup per call) and through a handle resolved once (slot
-// dispatch, no map lookup or lock on the call path).
+// (name lookup per call, results allocated) and through a handle
+// resolved once (slot dispatch with a caller-provided result buffer —
+// the zero-allocation fast path, gated at 0 allocs/op in CI).
 func BenchmarkInvokeString(b *testing.B) {
 	iv := newBenchCounter(b)
 	b.ReportAllocs()
@@ -98,10 +106,44 @@ func BenchmarkInvokeHandle(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	var buf [1]any
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := inc.Call(); err != nil {
+		if _, err := inc.CallInto(buf[:0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkB0_ZeroAllocInvoke drives the full zero-allocation
+// single-call contract: a method that takes an argument and returns a
+// result, called through a pre-resolved handle with a reused argument
+// list and a caller-provided result buffer. The CI allocs gate holds
+// this (and BenchmarkInvokeHandle) at exactly 0 allocs/op.
+func BenchmarkB0_ZeroAllocInvoke(b *testing.B) {
+	decl := obj.MustInterfaceDecl("bench.acc.v1", obj.MethodDecl{Name: "add", NumIn: 1, NumOut: 1})
+	o := obj.New("accumulator", nil)
+	total := 0
+	bi, err := o.AddInterface(decl, &total)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bi.MustBindInto("add", func(out []any, args ...any) ([]any, error) {
+		total += args[0].(int)
+		return append(out, &total), nil
+	})
+	iv, _ := o.Iface("bench.acc.v1")
+	add, err := iv.Resolve("add")
+	if err != nil {
+		b.Fatal(err)
+	}
+	args := []any{1}
+	var buf [1]any
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := add.CallInto(buf[:0], args...); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -222,6 +264,43 @@ func BenchmarkP4_ParallelProxyCallCPUs(b *testing.B) {
 					}
 				}
 			})
+		})
+	}
+}
+
+// BenchmarkP5_BatchedCall sweeps the vectored invocation plane's
+// batch size: each iteration is ONE cross-domain invocation, issued
+// in batches of the given size, so ns/op and cycles/op are directly
+// comparable per invocation against the single-call P1/T2 paths. A
+// batch pays the trap, page fault and context-switch pair once for
+// the whole group, so per-invocation cost falls toward the per-entry
+// floor as size grows.
+func BenchmarkP5_BatchedCall(b *testing.B) {
+	for _, size := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			inc, _, w := bench.SharedCounterHandleCPUs(1)
+			batch := obj.NewBatch(size)
+			watch := w.K.Meter.Clock.StartWatch()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; {
+				k := size
+				if rem := b.N - i; rem < k {
+					k = rem
+				}
+				batch.Reset()
+				for j := 0; j < k; j++ {
+					if err := batch.Add(inc); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := batch.Run(); err != nil {
+					b.Fatal(err)
+				}
+				i += k
+			}
+			b.StopTimer()
+			reportCycles(b, watch.Elapsed())
 		})
 	}
 }

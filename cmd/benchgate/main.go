@@ -8,7 +8,10 @@
 // tight threshold holds without flakes. Host ns/op is recorded in the
 // report for humans (and for the parallel P-series, which has no
 // virtual-cycle metric) but is not gated by default because wall
-// clock on shared runners is noise.
+// clock on shared runners is noise. Allocation counts ARE
+// deterministic, so -allocgate holds named benchmarks' allocs/op at
+// the baseline exactly — the zero-allocation invocation fast path
+// stays at 0 allocs/op or the gate fails.
 //
 // Usage:
 //
@@ -44,6 +47,12 @@ type Result struct {
 	// column of the bench line), used only to cross-check a claimed
 	// "Nx" -benchtime; it is not part of the JSON schema.
 	iterations uint64
+	// hasAllocs records that the bench line actually carried an
+	// allocs/op column (a true 0 is indistinguishable from a missing
+	// metric in AllocsPerOp alone). The allocs gate requires it, so a
+	// gated benchmark that silently drops b.ReportAllocs fails instead
+	// of passing as zero. Parse-side only, not in the JSON schema.
+	hasAllocs bool
 }
 
 // Report is the BENCH_invoke.json schema. BenchTime records the
@@ -65,6 +74,7 @@ func main() {
 	minParallel := flag.Float64("minparallel", 0, "minimum serialized-to-parallel ns/op ratio (P0/P1); 0 disables the ratio gate")
 	pSerial := flag.String("pserial", "BenchmarkP0_SerializedProxyCall", "serialized benchmark for the ratio gate")
 	pParallel := flag.String("pparallel", "BenchmarkP1_ParallelProxyCall", "parallel benchmark for the ratio gate")
+	allocGate := flag.String("allocgate", "", "comma-separated benchmarks whose allocs/op must not exceed the baseline (empty: no allocs gate)")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -153,7 +163,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if failures := gate(base, report, *threshold); len(failures) > 0 {
+	failures := gate(base, report, *threshold)
+	if *allocGate != "" {
+		failures = append(failures, gateAllocs(base, report, strings.Split(*allocGate, ","))...)
+	}
+	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "FAIL:", f)
 		}
@@ -161,6 +175,35 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchgate: %d benchmarks, gate passed (threshold %.0f%%)\n",
 		len(report.Benchmarks), *threshold*100)
+}
+
+// gateAllocs holds the named benchmarks' allocs/op at or below the
+// baseline — exactly, no threshold: allocation counts are
+// deterministic per op, so any increase is a real regression of the
+// zero-allocation invariant (a baseline of 0 means the benchmark must
+// stay allocation-free). The named benchmarks must exist in both the
+// baseline and the run: losing one silently would ungate it.
+func gateAllocs(base, cur *Report, names []string) []string {
+	var failures []string
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		b, c := base.Benchmarks[name], cur.Benchmarks[name]
+		switch {
+		case b == nil:
+			failures = append(failures, fmt.Sprintf("%s: allocs-gated but missing from the baseline", name))
+		case c == nil:
+			failures = append(failures, fmt.Sprintf("%s: allocs-gated but missing from this run", name))
+		case !c.hasAllocs:
+			failures = append(failures, fmt.Sprintf("%s: allocs-gated but this run reported no allocs/op (b.ReportAllocs dropped?)", name))
+		case c.AllocsPerOp > b.AllocsPerOp:
+			failures = append(failures, fmt.Sprintf("%s: %.1f allocs/op, baseline %.1f — the allocation-free invariant regressed",
+				name, c.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	return failures
 }
 
 // parse reads `go test -bench` output. A benchmark line looks like:
@@ -213,6 +256,7 @@ func parse(r io.Reader) (*Report, error) {
 				res.BytesPerOp = v
 			case "allocs/op":
 				res.AllocsPerOp = v
+				res.hasAllocs = true
 			}
 		}
 	}

@@ -207,5 +207,6 @@ func AllParallel() []Table {
 		P1ParallelProxyCall(),
 		P2ParallelLookup(),
 		P3CPUTopology(),
+		P5BatchSweep(),
 	}
 }

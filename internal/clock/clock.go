@@ -82,6 +82,7 @@ const (
 	OpPromote                 // proto-thread → real thread promotion
 	OpSchedule                // scheduler dispatch decision
 	OpNameLookupHop           // one hop in a name-space lookup
+	OpBatchEntry              // decode one entry of a vectored cross-domain call
 	opCount
 )
 
@@ -105,6 +106,7 @@ var opNames = [...]string{
 	OpPromote:       "promote",
 	OpSchedule:      "schedule",
 	OpNameLookupHop: "name-hop",
+	OpBatchEntry:    "batch-entry",
 }
 
 // String returns the mnemonic for the operation.
@@ -152,6 +154,11 @@ func DefaultCosts() CostModel {
 	m.Costs[OpPromote] = 500
 	m.Costs[OpSchedule] = 70
 	m.Costs[OpNameLookupHop] = 15
+	// A vectored call pays the trap and context-switch pair once, then
+	// this small decode cost per entry: the slot index, argument base
+	// and result base of one entry in the batch frame. Its ratio to
+	// OpTrapEnter+OpTrapExit+2*OpCtxSwitch sets the batching break-even.
+	m.Costs[OpBatchEntry] = 8
 	return m
 }
 

@@ -493,6 +493,22 @@ func (d *Domain) ResolveMethod(path, iface, method string) (obj.MethodHandle, er
 	return iv.Resolve(method)
 }
 
+// CallBatch executes a batch of pre-resolved invocations. Consecutive
+// entries resolved through one cross-domain proxy vector across the
+// boundary in a single crossing — one trap, one context-switch pair,
+// N slot dispatches — with per-entry results and errors; see
+// obj.Batch. Routing is carried entirely by each entry's resolved
+// handle (a proxy handle is bound to its caller context at Resolve
+// time), so the receiver is the natural call site, not a routing
+// input: CallBatch here and on Kernel run an identical batch
+// identically.
+func (d *Domain) CallBatch(b *obj.Batch) error { return b.Run() }
+
+// CallBatch executes a batch of pre-resolved invocations for a
+// kernel-resident call site; routing is carried by each entry's
+// resolved handle — see Domain.CallBatch.
+func (k *Kernel) CallBatch(b *obj.Batch) error { return b.Run() }
+
 // KernelBind resolves a path for kernel-resident callers: instances in
 // the kernel context are returned directly; instances in application
 // domains are reached through a proxy owned by the kernel context,

@@ -86,12 +86,20 @@ func (l CPULease) Release() {
 
 // AcquireCPU claims a free CPU, preferring an exclusive claim (each
 // concurrent caller lands on its own CPU) and falling back to sharing
-// when every CPU is busy. On a single-CPU machine it is free: there is
-// nothing to claim.
+// when every CPU is busy. Forced shares are counted (SharedLeases):
+// sharers interleave on one TLB, so a climbing counter is the signal
+// that a workload has outgrown its WithCPUs(n) topology.
 func (m *Machine) AcquireCPU() CPULease {
 	n := len(m.cpus)
 	if n == 1 {
-		return CPULease{cpu: m.cpus[0]}
+		// A uniprocessor still claims, so oversubscription — concurrent
+		// calls forced onto the one CPU — is visible in the counter.
+		c := m.cpus[0]
+		if c.leased.CompareAndSwap(false, true) {
+			return CPULease{cpu: c, owned: true}
+		}
+		m.sharedLeases.Add(1)
+		return CPULease{cpu: c}
 	}
 	start := int(m.cpuRR.Add(1)-1) % n
 	for i := 0; i < n; i++ {
@@ -100,8 +108,19 @@ func (m *Machine) AcquireCPU() CPULease {
 			return CPULease{cpu: c, owned: true}
 		}
 	}
+	m.sharedLeases.Add(1)
 	return CPULease{cpu: m.cpus[start]}
 }
+
+// SharedLeases reports how many AcquireCPU claims found every CPU
+// busy and fell back to sharing one. A steadily climbing count means
+// cross-domain calls are interleaving on shared TLBs — quantifying
+// when the machine needs WithCPUs(n) raised. Note that NESTED calls
+// count too: a call issued from inside another call's target method
+// holds the outer lease, so the inner claim shares even with no
+// concurrency — call depth oversubscribes a small topology exactly as
+// concurrent callers do.
+func (m *Machine) SharedLeases() uint64 { return m.sharedLeases.Load() }
 
 // NumCPUs reports the number of virtual CPUs.
 func (m *Machine) NumCPUs() int { return len(m.cpus) }

@@ -43,16 +43,54 @@ func TestAcquireCPUSpreadsExclusiveLeases(t *testing.T) {
 	}
 }
 
-// TestSingleCPUAcquireIsFree: on a uniprocessor every acquire shares
-// CPU 0 with no claim state at all.
-func TestSingleCPUAcquireIsFree(t *testing.T) {
+// TestSingleCPUAcquireCountsShares: on a uniprocessor every acquire
+// lands on CPU 0; an acquire that overlaps a held lease is a forced
+// share, counted in SharedLeases, and releasing the shared lease must
+// not clear the exclusive holder's claim.
+func TestSingleCPUAcquireCountsShares(t *testing.T) {
 	m := New(Config{PhysFrames: 16})
 	a, b := m.AcquireCPU(), m.AcquireCPU()
 	if a.ID() != 0 || b.ID() != 0 {
 		t.Fatalf("leases on CPUs %d/%d, want 0/0", a.ID(), b.ID())
 	}
+	if got := m.SharedLeases(); got != 1 {
+		t.Fatalf("SharedLeases = %d, want 1 (second acquire overlapped the first)", got)
+	}
+	b.Release() // shared: must not free the holder's claim
+	c := m.AcquireCPU()
+	if got := m.SharedLeases(); got != 2 {
+		t.Fatalf("SharedLeases = %d, want 2 (holder still claims the CPU)", got)
+	}
+	c.Release()
 	a.Release()
-	b.Release()
+	// All free: a serial acquire is exclusive again.
+	d := m.AcquireCPU()
+	defer d.Release()
+	if got := m.SharedLeases(); got != 2 {
+		t.Fatalf("SharedLeases = %d after release, want 2 (serial acquire must not share)", got)
+	}
+}
+
+// TestSharedLeasesCountOversubscription: the four-CPU machine counts
+// exactly the claims beyond its topology.
+func TestSharedLeasesCountOversubscription(t *testing.T) {
+	m := New(Config{PhysFrames: 16, CPUs: 4})
+	var leases []CPULease
+	for i := 0; i < 4; i++ {
+		leases = append(leases, m.AcquireCPU())
+	}
+	if got := m.SharedLeases(); got != 0 {
+		t.Fatalf("SharedLeases = %d with free CPUs, want 0", got)
+	}
+	for i := 0; i < 3; i++ {
+		m.AcquireCPU().Release()
+	}
+	if got := m.SharedLeases(); got != 3 {
+		t.Fatalf("SharedLeases = %d, want 3", got)
+	}
+	for _, l := range leases {
+		l.Release()
+	}
 }
 
 // TestRaiseIRQOnDeliversCPU: the trap frame of a routed interrupt

@@ -116,6 +116,7 @@ type Machine struct {
 	trapsDelivered atomic.Uint64
 	irqsDelivered  atomic.Uint64
 	irqsDropped    atomic.Uint64
+	sharedLeases   atomic.Uint64
 }
 
 // Config controls machine construction.
@@ -341,6 +342,16 @@ func (m *Machine) accessOn(cpu mmu.CPUID, ctx mmu.ContextID, va mmu.VAddr, buf [
 	return nil
 }
 
+// trapFramePool recycles the page-fault trap frames the access path
+// delivers. Trap delivery is synchronous — "the faulting context is
+// suspended until the handler returns" — so once RaiseTrap returns the
+// frame is dead and can be reused; pooling it keeps the per-call frame
+// allocation off the cross-domain invocation hot path. Handlers must
+// not retain a fault frame past their return (asynchronous IRQ frames,
+// which pop-up threads may outlive their delivery with, are allocated
+// fresh and never pooled).
+var trapFramePool = sync.Pool{New: func() any { return new(TrapFrame) }}
+
 // translateWithFaults translates va on one CPU, delivering a
 // page-fault trap on failure and retrying once if the handler reports
 // the fault resolved. The trap frame carries the CPU, so the handler's
@@ -361,7 +372,8 @@ func (m *Machine) translateWithFaults(cpu mmu.CPUID, ctx mmu.ContextID, va mmu.V
 			return 0, fmt.Errorf("hw: fault persists after handler: %w", f)
 		}
 		m.Meter.Charge(clock.OpPageFault)
-		resolved, herr := m.RaiseTrap(&TrapFrame{
+		frame := trapFramePool.Get().(*TrapFrame)
+		*frame = TrapFrame{
 			Vector: TrapPageFault,
 			Ctx:    ctx,
 			Addr:   va,
@@ -369,7 +381,10 @@ func (m *Machine) translateWithFaults(cpu mmu.CPUID, ctx mmu.ContextID, va mmu.V
 			Fault:  f,
 			Token:  token,
 			CPU:    cpu,
-		})
+		}
+		resolved, herr := m.RaiseTrap(frame)
+		*frame = TrapFrame{}
+		trapFramePool.Put(frame)
 		if herr != nil {
 			return 0, fmt.Errorf("hw: unhandled page fault: %w", f)
 		}

@@ -1,0 +1,153 @@
+package obj
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Batcher executes a group of pre-resolved calls together. The
+// cross-domain proxy implements it to carry a whole group across the
+// protection boundary in a single crossing — one trap, one
+// context-switch pair — amortizing the fixed crossing cost over the
+// group, the way active-message systems vector requests. Local
+// handles have no batcher and dispatch one by one.
+//
+// DispatchBatch receives entries whose handles all name this batcher.
+// It records each entry's results or error with SetResult and returns
+// an error only when the group as a whole could not be attempted (the
+// route itself failed); per-call failures are per-entry state.
+type Batcher interface {
+	DispatchBatch(calls []BatchCall) error
+}
+
+// BatchCall is one queued invocation of a Batch: the resolved handle,
+// its arguments, and — after Run — its results or error.
+type BatchCall struct {
+	h    MethodHandle
+	args []any
+	res  []any
+	err  error
+}
+
+// Decl returns the type information of the entry's method.
+func (c *BatchCall) Decl() *MethodDecl { return c.h.decl }
+
+// Args returns the entry's argument list. Batchers read it; callers
+// must not mutate it between Add and Run.
+func (c *BatchCall) Args() []any { return c.args }
+
+// Key returns the batcher-private routing key of the entry's handle
+// (see NewBatchableHandle). It is how a Batcher finds the target slot
+// without a name lookup.
+func (c *BatchCall) Key() any { return c.h.bkey }
+
+// SetResult records the entry's outcome. Batchers call it once per
+// entry; result arity against the declaration is the batcher's (or its
+// dispatch path's) responsibility, exactly as for a single call.
+func (c *BatchCall) SetResult(res []any, err error) {
+	c.res, c.err = res, err
+}
+
+// Results returns the entry's results or error after Run.
+func (c *BatchCall) Results() ([]any, error) { return c.res, c.err }
+
+// Batch is an ordered list of pre-resolved invocations executed
+// together by Run. Consecutive entries whose handles share a Batcher
+// (calls through the same cross-domain proxy) are carried across the
+// protection boundary in one crossing; everything else dispatches
+// individually. A batch is not a transaction: entries execute in
+// order, a failing entry records its error and the rest still run —
+// exactly the semantics of issuing the calls one by one, minus the
+// repeated crossings.
+//
+// A Batch is reusable: Reset keeps the entry array's capacity, so a
+// steady-state caller building same-sized batches allocates nothing
+// for the batch machinery. It is not safe for concurrent use; build
+// and Run a batch from one goroutine (any number of goroutines may
+// each run their own).
+type Batch struct {
+	calls []BatchCall
+}
+
+// NewBatch returns an empty batch with room for n entries.
+func NewBatch(n int) *Batch {
+	return &Batch{calls: make([]BatchCall, 0, n)}
+}
+
+// Add queues one invocation. Argument arity is validated immediately,
+// so a malformed entry fails at Add rather than poisoning Run.
+func (b *Batch) Add(h MethodHandle, args ...any) error {
+	if h.call == nil {
+		return fmt.Errorf("%w: batch entry through zero method handle", ErrUnbound)
+	}
+	if err := CheckArity(h.decl, args); err != nil {
+		return err
+	}
+	b.calls = append(b.calls, BatchCall{h: h, args: args})
+	return nil
+}
+
+// Len reports the number of queued entries.
+func (b *Batch) Len() int { return len(b.calls) }
+
+// Call returns the i'th entry (for reading results after Run).
+func (b *Batch) Call(i int) *BatchCall { return &b.calls[i] }
+
+// Results returns the i'th entry's results or error after Run.
+func (b *Batch) Results(i int) ([]any, error) { return b.calls[i].Results() }
+
+// Reset empties the batch, keeping the entry array's capacity and
+// dropping all value references so a pooled batch does not pin caller
+// data.
+func (b *Batch) Reset() {
+	for i := range b.calls {
+		b.calls[i] = BatchCall{}
+	}
+	b.calls = b.calls[:0]
+}
+
+// Run executes the batch in order. Maximal runs of consecutive
+// entries sharing one Batcher are handed to it as a group — one
+// protection crossing for the whole run — while entries with no
+// batcher (local objects, interposers) dispatch directly. Per-entry
+// results and errors land in the entries (Results); Run returns the
+// first group-level dispatch error, if any, after attempting every
+// group.
+func (b *Batch) Run() error {
+	var firstErr error
+	calls := b.calls
+	for i := 0; i < len(calls); {
+		c := &calls[i]
+		if c.h.batcher == nil {
+			c.res, c.err = c.h.Call(c.args...)
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(calls) && sameBatcher(calls[j].h.batcher, c.h.batcher) {
+			j++
+		}
+		if err := c.h.batcher.DispatchBatch(calls[i:j]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		i = j
+	}
+	return firstErr
+}
+
+// sameBatcher reports whether two handles name the same Batcher,
+// without panicking on Batcher implementations of uncomparable types
+// (a struct with a slice or map field): those never group — each
+// entry dispatches as its own batch of one, which is correct, just
+// unamortized. Pointer-typed batchers (the cross-domain proxy)
+// compare by identity.
+func sameBatcher(a, b Batcher) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	ta := reflect.TypeOf(a)
+	if ta != reflect.TypeOf(b) || !ta.Comparable() {
+		return false
+	}
+	return a == b
+}

@@ -1,0 +1,215 @@
+package obj
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// batchTestIface builds an object with an into-bound counter and a
+// plain failing method, returning the invoker.
+func batchTestIface(t *testing.T) (Invoker, *int) {
+	t.Helper()
+	decl := MustInterfaceDecl("batch.v1",
+		MethodDecl{Name: "inc", NumIn: 0, NumOut: 1},
+		MethodDecl{Name: "fail", NumIn: 0, NumOut: 0},
+	)
+	o := New("counter", nil)
+	n := new(int)
+	bi, err := o.AddInterface(decl, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi.MustBindInto("inc", func(out []any, _ ...any) ([]any, error) {
+		*n++
+		return append(out, n), nil
+	})
+	bi.MustBind("fail", func(...any) ([]any, error) {
+		return nil, errors.New("boom")
+	})
+	iv, _ := o.Iface("batch.v1")
+	return iv, n
+}
+
+// TestBatchLocalEntriesDispatchInOrder: a batch of local handles runs
+// every entry in order, recording per-entry results.
+func TestBatchLocalEntriesDispatchInOrder(t *testing.T) {
+	iv, n := batchTestIface(t)
+	inc, err := iv.Resolve("inc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatch(4)
+	for i := 0; i < 4; i++ {
+		if err := b.Add(inc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if *n != 4 {
+		t.Fatalf("counter = %d, want 4", *n)
+	}
+	for i := 0; i < b.Len(); i++ {
+		res, err := b.Results(i)
+		if err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+		if got := *(res[0].(*int)); got != 4 {
+			// The into-form returns the state pointer; all entries see
+			// the final count.
+			t.Fatalf("entry %d result = %d, want 4", i, got)
+		}
+	}
+}
+
+// TestBatchPartialFailureContinues: a failing entry records its error
+// and the remaining entries still execute — batch semantics are N
+// independent calls, not a transaction.
+func TestBatchPartialFailureContinues(t *testing.T) {
+	iv, n := batchTestIface(t)
+	inc, _ := iv.Resolve("inc")
+	fail, _ := iv.Resolve("fail")
+	b := NewBatch(3)
+	_ = b.Add(inc)
+	_ = b.Add(fail)
+	_ = b.Add(inc)
+	if err := b.Run(); err != nil {
+		t.Fatalf("local batch returned group error: %v", err)
+	}
+	if *n != 2 {
+		t.Fatalf("counter = %d, want 2 (entries after the failure must run)", *n)
+	}
+	if _, err := b.Results(0); err != nil {
+		t.Fatalf("entry 0: %v", err)
+	}
+	if _, err := b.Results(1); err == nil {
+		t.Fatal("failing entry recorded no error")
+	}
+	if _, err := b.Results(2); err != nil {
+		t.Fatalf("entry 2: %v", err)
+	}
+}
+
+// TestBatchAddValidatesArity: a malformed entry fails at Add, before
+// anything runs.
+func TestBatchAddValidatesArity(t *testing.T) {
+	iv, n := batchTestIface(t)
+	inc, _ := iv.Resolve("inc")
+	b := NewBatch(1)
+	if err := b.Add(inc, "unexpected"); !errors.Is(err, ErrArity) {
+		t.Fatalf("err = %v, want ErrArity", err)
+	}
+	if err := b.Add(MethodHandle{}); !errors.Is(err, ErrUnbound) {
+		t.Fatalf("err = %v, want ErrUnbound", err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("len = %d after rejected adds", b.Len())
+	}
+	_ = b.Run()
+	if *n != 0 {
+		t.Fatal("rejected entry executed")
+	}
+}
+
+// TestBatchResetReuses: Reset keeps capacity and drops entry state.
+func TestBatchResetReuses(t *testing.T) {
+	iv, _ := batchTestIface(t)
+	inc, _ := iv.Resolve("inc")
+	b := NewBatch(2)
+	_ = b.Add(inc)
+	_ = b.Add(inc)
+	if err := b.Run(); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("len = %d after Reset", b.Len())
+	}
+	_ = b.Add(inc)
+	if err := b.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Results(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// recordingBatcher counts DispatchBatch groups and entries.
+type recordingBatcher struct {
+	groups  int
+	entries int
+}
+
+func (r *recordingBatcher) DispatchBatch(calls []BatchCall) error {
+	r.groups++
+	r.entries += len(calls)
+	for i := range calls {
+		calls[i].SetResult(nil, nil)
+	}
+	return nil
+}
+
+// TestBatchGroupsConsecutiveSameBatcher: consecutive entries sharing
+// a batcher form one group; an interleaved local entry splits them.
+func TestBatchGroupsConsecutiveSameBatcher(t *testing.T) {
+	iv, _ := batchTestIface(t)
+	local, _ := iv.Resolve("fail") // plain local handle, no batcher
+	rb := &recordingBatcher{}
+	decl := &MethodDecl{Name: "remote", NumIn: 0, NumOut: 0}
+	remote := NewBatchableHandle(decl,
+		func(...any) ([]any, error) { return nil, nil }, nil, rb, nil)
+
+	b := NewBatch(5)
+	_ = b.Add(remote)
+	_ = b.Add(remote)
+	_ = b.Add(local)
+	_ = b.Add(remote)
+	_ = b.Add(remote)
+	if err := b.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rb.groups != 2 || rb.entries != 4 {
+		t.Fatalf("groups = %d entries = %d, want 2 groups of 4 entries", rb.groups, rb.entries)
+	}
+}
+
+// TestCallIntoZeroAlloc: the resolved into-path — dispatch, method
+// body, results — allocates nothing when the caller supplies the
+// result buffer. This is the single-call zero-allocation invariant
+// the B0 benchmark gates in CI.
+func TestCallIntoZeroAlloc(t *testing.T) {
+	iv, _ := batchTestIface(t)
+	inc, err := iv.Resolve("inc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf [1]any
+	allocs := testing.AllocsPerRun(1000, func() {
+		res, err := inc.CallInto(buf[:0])
+		if err != nil || len(res) != 1 {
+			t.Fatal("bad result")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("CallInto allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestCallIntoFallsBackForPlainHandles: handles without an into form
+// (custom NewMethodHandle dispatchers) still work through CallInto.
+func TestCallIntoFallsBackForPlainHandles(t *testing.T) {
+	decl := &MethodDecl{Name: "echo", NumIn: 1, NumOut: 1}
+	h := NewMethodHandle(decl, func(args ...any) ([]any, error) {
+		return []any{fmt.Sprint(args[0])}, nil
+	})
+	var buf [1]any
+	res, err := h.CallInto(buf[:0], 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != "7" {
+		t.Fatalf("res = %v", res)
+	}
+}

@@ -23,6 +23,16 @@ import (
 // used for call validation, mirroring the paper's "type information".
 type Method func(args ...any) ([]any, error)
 
+// MethodInto is the buffer-threading form of a method implementation:
+// results are appended to out — a caller-owned slice, possibly empty
+// but with capacity — and the extended slice is returned. A method
+// bound in this form (BindInto) and invoked through
+// MethodHandle.CallInto completes without allocating when out has
+// room, which is what keeps the single-call invocation hot path
+// allocation-free. Implementations must append to out (never replace
+// it) and must not retain it after returning.
+type MethodInto func(out []any, args ...any) ([]any, error)
+
 // MethodDecl declares one method of an interface: its name and arity.
 type MethodDecl struct {
 	Name   string

@@ -13,6 +13,16 @@ import "fmt"
 type MethodHandle struct {
 	decl *MethodDecl
 	call Method
+	// into is the buffer-threading dispatch form: results are appended
+	// to a caller-provided slice, so a method bound with BindInto and
+	// called with CallInto completes without allocating. Nil for
+	// Invoker implementations that only supply a plain dispatch.
+	into MethodInto
+	// batcher, when non-nil, can execute a group of calls through this
+	// handle (and its siblings) in one protection crossing; bkey is the
+	// batcher-private per-handle routing key. See Batch.
+	batcher Batcher
+	bkey    any
 }
 
 // NewMethodHandle builds a handle from a declaration and a dispatch
@@ -25,6 +35,17 @@ func NewMethodHandle(decl *MethodDecl, dispatch Method) MethodHandle {
 		return MethodHandle{}
 	}
 	return MethodHandle{decl: decl, call: dispatch}
+}
+
+// NewBatchableHandle is NewMethodHandle for Invoker implementations
+// that can also execute grouped calls in one crossing: into (optional)
+// is the buffer-threading dispatch form, batcher executes batch groups
+// and key is the batcher's private routing key for this handle.
+func NewBatchableHandle(decl *MethodDecl, dispatch Method, into MethodInto, batcher Batcher, key any) MethodHandle {
+	if decl == nil || dispatch == nil {
+		return MethodHandle{}
+	}
+	return MethodHandle{decl: decl, call: dispatch, into: into, batcher: batcher, bkey: key}
 }
 
 // Valid reports whether the handle is usable.
@@ -48,6 +69,39 @@ func (h MethodHandle) Call(args ...any) ([]any, error) {
 		return nil, err
 	}
 	if err := CheckResults(h.decl, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// CallInto is Call with a caller-provided result buffer: results are
+// appended to out (typically a zero-length slice over a reused or
+// stack array) and the extended slice is returned. When the bound
+// implementation supports the buffer-threading form (BindInto), the
+// whole invocation — dispatch, method body, results — completes
+// without allocating; implementations that don't are dispatched
+// normally and their results appended to out afterwards. Either way
+// the returned slice is out plus exactly the method's results; treat
+// it like any append result — valid only until out's array is reused.
+func (h MethodHandle) CallInto(out []any, args ...any) ([]any, error) {
+	if h.into == nil {
+		res, err := h.Call(args...)
+		if err != nil || len(out) == 0 {
+			return res, err
+		}
+		return append(out, res...), nil
+	}
+	if err := CheckArity(h.decl, args); err != nil {
+		return nil, err
+	}
+	res, err := h.into(out, args...)
+	if err != nil {
+		return nil, err
+	}
+	if len(res) < len(out) {
+		return nil, fmt.Errorf("%w: %s shrank the result buffer", ErrArity, h.decl.Name)
+	}
+	if err := CheckResults(h.decl, res[len(out):]); err != nil {
 		return nil, err
 	}
 	return res, nil

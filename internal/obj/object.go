@@ -152,7 +152,7 @@ func (o *Object) Delegate(ifaceName string, to Instance) error {
 		}
 		// Only bind slots still empty: methods the object bound itself
 		// take precedence over the delegate's.
-		bi.slots[m.slot].CompareAndSwap(nil, &fn)
+		bi.slots[m.slot].CompareAndSwap(nil, &methodImpl{fn: fn})
 	}
 	return nil
 }
@@ -181,8 +181,17 @@ type BoundInterface struct {
 	state any
 	meter *clock.Meter
 
-	slots   []atomic.Pointer[Method]
+	slots   []atomic.Pointer[methodImpl]
 	handles []MethodHandle
+}
+
+// methodImpl is one slot's implementation: the plain dispatch form and
+// optionally the buffer-threading form. fn is always set (BindInto
+// wraps the into form), so every caller of the plain path works no
+// matter how the method was bound.
+type methodImpl struct {
+	fn   Method
+	into MethodInto
 }
 
 // newBoundInterface allocates the slot array and pre-builds one
@@ -192,22 +201,42 @@ func newBoundInterface(decl *InterfaceDecl, state any, meter *clock.Meter) *Boun
 		decl:    decl,
 		state:   state,
 		meter:   meter,
-		slots:   make([]atomic.Pointer[Method], len(decl.Methods)),
+		slots:   make([]atomic.Pointer[methodImpl], len(decl.Methods)),
 		handles: make([]MethodHandle, len(decl.Methods)),
 	}
 	for i := range decl.Methods {
 		md := &decl.Methods[i]
 		slot := &b.slots[i]
-		b.handles[i] = MethodHandle{decl: md, call: func(args ...any) ([]any, error) {
-			fn := slot.Load()
-			if fn == nil {
-				return nil, fmt.Errorf("%w: %q.%s", ErrUnbound, decl.Name, md.Name)
-			}
-			if meter != nil {
-				meter.Charge(clock.OpIndirect)
-			}
-			return (*fn)(args...)
-		}}
+		b.handles[i] = MethodHandle{
+			decl: md,
+			call: func(args ...any) ([]any, error) {
+				m := slot.Load()
+				if m == nil {
+					return nil, fmt.Errorf("%w: %q.%s", ErrUnbound, decl.Name, md.Name)
+				}
+				if meter != nil {
+					meter.Charge(clock.OpIndirect)
+				}
+				return m.fn(args...)
+			},
+			into: func(out []any, args ...any) ([]any, error) {
+				m := slot.Load()
+				if m == nil {
+					return nil, fmt.Errorf("%w: %q.%s", ErrUnbound, decl.Name, md.Name)
+				}
+				if meter != nil {
+					meter.Charge(clock.OpIndirect)
+				}
+				if m.into != nil {
+					return m.into(out, args...)
+				}
+				res, err := m.fn(args...)
+				if err != nil {
+					return nil, err
+				}
+				return append(out, res...), nil
+			},
+		}
 	}
 	return b
 }
@@ -227,13 +256,41 @@ func (b *BoundInterface) Bind(method string, fn Method) error {
 	if fn == nil {
 		return fmt.Errorf("obj: nil implementation for %q.%s", b.decl.Name, method)
 	}
-	b.slots[md.slot].Store(&fn)
+	b.slots[md.slot].Store(&methodImpl{fn: fn})
 	return nil
 }
 
 // MustBind is Bind that panics on error, for construction-time wiring.
 func (b *BoundInterface) MustBind(method string, fn Method) *BoundInterface {
 	if err := b.Bind(method, fn); err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// BindInto installs a method in the buffer-threading form: callers
+// that go through MethodHandle.CallInto hand the implementation a
+// result buffer to append into, so the invocation allocates nothing.
+// Plain Invoke/Call callers are served by a wrapper that passes a nil
+// buffer, preserving the ordinary return-a-fresh-slice semantics.
+func (b *BoundInterface) BindInto(method string, fn MethodInto) error {
+	md, ok := b.decl.Method(method)
+	if !ok {
+		return fmt.Errorf("%w: %q not declared by %q", ErrNoMethod, method, b.decl.Name)
+	}
+	if fn == nil {
+		return fmt.Errorf("obj: nil implementation for %q.%s", b.decl.Name, method)
+	}
+	b.slots[md.slot].Store(&methodImpl{
+		fn:   func(args ...any) ([]any, error) { return fn(nil, args...) },
+		into: fn,
+	})
+	return nil
+}
+
+// MustBindInto is BindInto that panics on error.
+func (b *BoundInterface) MustBindInto(method string, fn MethodInto) *BoundInterface {
+	if err := b.BindInto(method, fn); err != nil {
 		panic(err)
 	}
 	return b

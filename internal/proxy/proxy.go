@@ -42,31 +42,43 @@ var (
 // caller's address space when the factory is built with base 0.
 const DefaultEntryBase mmu.VAddr = 0x7000_0000
 
-// callFrame carries one in-flight cross-domain call: the kernel half
-// (the fault handler) reads method and args and writes res, err and
-// done; the caller half owns the frame before and after the fault.
-// Frames are pooled — steady-state invocation allocates nothing for
-// the call machinery itself.
+// callFrame carries one in-flight cross-domain call — or, when batch
+// is non-nil, a whole vectored group of them behind one crossing. The
+// kernel half (the fault handler) reads the pre-resolved target
+// handle, args and result buffer and writes res, err and done; the
+// caller half owns the frame before and after the fault. Frames are
+// pooled (single and batch alike share the pool and the sharded frame
+// table) — steady-state invocation allocates nothing for the call
+// machinery itself.
 type callFrame struct {
-	method string
-	args   []any
-	res    []any
-	err    error
-	done   bool
+	th    obj.MethodHandle // pre-resolved dispatch into the target
+	args  []any
+	out   []any // caller-provided result buffer (may be nil)
+	res   []any
+	err   error
+	done  bool
+	batch []obj.BatchCall // non-nil: vectored call, entries carry their own targets
 }
 
 var framePool = sync.Pool{New: func() any { return new(callFrame) }}
 
-func newFrame(method string, args []any) *callFrame {
+func newFrame(th obj.MethodHandle, args, out []any) *callFrame {
 	fr := framePool.Get().(*callFrame)
-	fr.method, fr.args = method, args
-	fr.res, fr.err, fr.done = nil, nil, false
+	fr.th, fr.args, fr.out = th, args, out
+	fr.res, fr.err, fr.done, fr.batch = nil, nil, false, nil
+	return fr
+}
+
+func newBatchFrame(calls []obj.BatchCall) *callFrame {
+	fr := framePool.Get().(*callFrame)
+	fr.th, fr.args, fr.out = obj.MethodHandle{}, nil, nil
+	fr.res, fr.err, fr.done, fr.batch = nil, nil, false, calls
 	return fr
 }
 
 func putFrame(fr *callFrame) {
 	// Drop value references so pooled frames do not pin caller data.
-	fr.method, fr.args, fr.res, fr.err, fr.done = "", nil, nil, nil, false
+	*fr = callFrame{}
 	framePool.Put(fr)
 }
 
@@ -298,9 +310,79 @@ func (p *Proxy) Iface(name string) (obj.Invoker, bool) {
 	return ei, true
 }
 
-// Calls reports the number of cross-domain invocations performed.
+// Calls reports the number of cross-domain invocations performed
+// (every entry of a vectored call counts).
 func (p *Proxy) Calls() uint64 {
 	return p.calls.Load()
+}
+
+// DispatchBatch implements obj.Batcher: it carries a group of calls
+// resolved through this proxy across the domain boundary in a single
+// crossing — one CPU lease, one page fault (the trap cost charged
+// once), one context-switch pair — executing each entry in the
+// target's context with per-entry results and errors. The batch frame
+// is pooled in the factory's sharded frame table exactly like a
+// single call's. Error semantics match a run of single calls: a
+// closed proxy fails every entry with ErrClosed, a dead target
+// context fails them all with "target domain gone", and a failing
+// method fails only its own entry. The group-level error, if any, is
+// returned as well so Batch.Run can surface it.
+func (p *Proxy) DispatchBatch(calls []obj.BatchCall) error {
+	if len(calls) == 0 {
+		return nil
+	}
+	if p.closed.Load() {
+		for i := range calls {
+			calls[i].SetResult(nil, ErrClosed)
+		}
+		return ErrClosed
+	}
+	fr := newBatchFrame(calls)
+	token := p.factory.frames.put(fr)
+	// Deferred so a panicking target method cannot leak the table
+	// entry, exactly as on the single-call path.
+	defer func() {
+		p.factory.frames.drop(token)
+		putFrame(fr)
+	}()
+
+	// One touch of the first entry's slot drives the whole group: the
+	// handler reads the batch out of the frame, so the remaining
+	// entries cross without faulting again. The key is checked, not
+	// asserted: a handle built by hand against this proxy as Batcher
+	// (possible through the public NewBatchableHandle) must fail its
+	// batch, not panic the fault path.
+	key, ok := calls[0].Key().(batchKey)
+	if !ok {
+		err := errors.New("proxy: batch entry not resolved through this proxy")
+		for i := range calls {
+			calls[i].SetResult(nil, err)
+		}
+		return err
+	}
+	slotVA := key.slotVA
+	machine := p.factory.svc.Machine()
+	lease := machine.AcquireCPU()
+	_ = lease.CPU().TouchTagged(p.callerCtx, slotVA, mmu.AccessExec, token)
+	lease.Release()
+
+	if !fr.done {
+		// The handler never saw the group: the proxy was closed (its
+		// fault handler unregistered) between the closed check and the
+		// touch, or the fault went astray.
+		err := error(nil)
+		if p.closed.Load() {
+			err = ErrClosed
+		} else {
+			err = fmt.Errorf("%w: batch of %d", ErrNoDelivery, len(calls))
+		}
+		for i := range calls {
+			calls[i].SetResult(nil, err)
+		}
+		return err
+	}
+	p.calls.Add(uint64(len(calls)))
+	return fr.err
 }
 
 // TargetContext reports the protection domain of the real object.
@@ -372,6 +454,14 @@ func (e *entryIface) Decl() *obj.InterfaceDecl { return e.target.Decl() }
 // a hardware implementation would have to.
 func (e *entryIface) State() any { return nil }
 
+// batchKey is the proxy's private routing key carried by each of its
+// resolved handles (obj.NewBatchableHandle): the pre-resolved dispatch
+// into the target and the entry slot a vectored group faults on.
+type batchKey struct {
+	th     obj.MethodHandle
+	slotVA mmu.VAddr
+}
+
 // Invoke implements obj.Invoker: it references the method's entry
 // slot, taking the page fault that drives the cross-domain call.
 func (e *entryIface) Invoke(method string, args ...any) ([]any, error) {
@@ -382,21 +472,38 @@ func (e *entryIface) Invoke(method string, args ...any) ([]any, error) {
 	if err := obj.CheckArity(md, args); err != nil {
 		return nil, err
 	}
-	return e.fault(md, args)
+	th, err := e.target.Resolve(method)
+	if err != nil {
+		return nil, err
+	}
+	return e.fault(md, th, args, nil)
 }
 
-// Resolve implements obj.Invoker: the entry slot's address is
-// computed once, and the returned handle faults straight into the
-// kernel on every Call with no per-call method lookup. One handle may
-// be shared by any number of goroutines.
+// Resolve implements obj.Invoker: the entry slot's address and the
+// dispatch into the target are computed once, and the returned handle
+// faults straight into the kernel on every Call with no per-call
+// method lookup on either side of the boundary. One handle may be
+// shared by any number of goroutines. The handle is batchable: a
+// Batch groups consecutive calls through this proxy into a single
+// crossing (Proxy.DispatchBatch).
 func (e *entryIface) Resolve(method string) (obj.MethodHandle, error) {
 	md, ok := e.target.Decl().Method(method)
 	if !ok {
 		return obj.MethodHandle{}, fmt.Errorf("%w: %q.%s", obj.ErrNoMethod, e.target.Decl().Name, method)
 	}
-	return obj.NewMethodHandle(md, func(args ...any) ([]any, error) {
-		return e.fault(md, args)
-	}), nil
+	th, err := e.target.Resolve(method)
+	if err != nil {
+		return obj.MethodHandle{}, err
+	}
+	key := batchKey{th: th, slotVA: e.pageVA + mmu.VAddr(md.Slot()*8)}
+	return obj.NewBatchableHandle(md,
+		func(args ...any) ([]any, error) {
+			return e.fault(md, th, args, nil)
+		},
+		func(out []any, args ...any) ([]any, error) {
+			return e.fault(md, th, args, out)
+		},
+		e.proxy, key), nil
 }
 
 // fault performs the cross-domain call for one pre-looked-up method:
@@ -404,13 +511,15 @@ func (e *entryIface) Resolve(method string) (obj.MethodHandle, error) {
 // slot, taking the page fault that drives the kernel's call handler.
 // The frame's token rides in the trap frame, so the handler resolves
 // this call's frame no matter how many calls are in flight on the
-// same page.
-func (e *entryIface) fault(md *obj.MethodDecl, args []any) ([]any, error) {
+// same page. out, when non-nil, is the caller's result buffer,
+// threaded through the frame so the target's results land in it
+// without an allocation.
+func (e *entryIface) fault(md *obj.MethodDecl, th obj.MethodHandle, args, out []any) ([]any, error) {
 	p := e.proxy
 	if p.closed.Load() {
 		return nil, ErrClosed
 	}
-	fr := newFrame(md.Name, args)
+	fr := newFrame(th, args, out)
 	token := p.factory.frames.put(fr)
 	// Deferred so a panicking target method cannot leak the table
 	// entry: by the time the defer runs, nothing references the frame.
@@ -447,10 +556,12 @@ func (e *entryIface) fault(md *obj.MethodDecl, args []any) ([]any, error) {
 
 // handleFault is the per-page fault handler: the kernel half of the
 // cross-domain call. It maps in the arguments (charged as word
-// copies), switches to the target's context, invokes the real method,
-// switches back, and copies out the results. The handler is reentrant:
-// concurrent faults on the same entry page dispatch independently,
-// each finding its own frame by the trap frame's token.
+// copies), switches to the target's context, invokes the real method
+// through the frame's pre-resolved handle, switches back, and copies
+// out the results. The handler is reentrant: concurrent faults on the
+// same entry page dispatch independently, each finding its own frame
+// by the trap frame's token. A frame carrying a batch executes every
+// entry inside the one crossing (executeBatch).
 func (e *entryIface) handleFault(f *hw.TrapFrame) bool {
 	p := e.proxy
 	// Entered before the closed-check so Close can quiesce: if closed
@@ -468,6 +579,11 @@ func (e *entryIface) handleFault(f *hw.TrapFrame) bool {
 	}
 	machine := p.factory.svc.Machine()
 	meter := machine.Meter
+
+	if call.batch != nil {
+		p.executeBatch(f, call, machine.MMU, meter)
+		return false
+	}
 
 	// Map in arguments.
 	meter.ChargeN(clock.OpCopyWord, wordsOf(call.args))
@@ -488,7 +604,7 @@ func (e *entryIface) handleFault(f *hw.TrapFrame) bool {
 			return false
 		}
 	}
-	call.res, call.err = e.target.Invoke(call.method, call.args...)
+	call.res, call.err = call.th.CallInto(call.out, call.args...)
 	if crossing {
 		if err := machine.MMU.CrossSwitchOn(f.CPU, p.callerCtx); err != nil {
 			// The caller's domain was destroyed while the call was in
@@ -498,13 +614,65 @@ func (e *entryIface) handleFault(f *hw.TrapFrame) bool {
 		}
 	}
 
-	// Return values are handled similarly.
-	meter.ChargeN(clock.OpCopyWord, wordsOf(call.res))
+	// Return values are handled similarly. call.res is the caller's
+	// buffer plus the method's results; only the results crossed the
+	// boundary, so only they are charged (on error res is nil).
+	copied := call.res
+	if n := len(call.out); n > 0 && len(copied) >= n {
+		copied = copied[n:]
+	}
+	meter.ChargeN(clock.OpCopyWord, wordsOf(copied))
 	call.done = true
 	// The entry page stays unmapped (the next call must fault again),
 	// so the fault is reported as unresolved; fault picks the results
 	// out of the call frame.
 	return false
+}
+
+// executeBatch is the kernel half of a vectored call: inside the one
+// crossing the fault already paid for, it switches to the target's
+// context once, dispatches every entry through its pre-resolved
+// handle — charging the argument/result copies exactly as a single
+// call would, plus the small per-entry decode cost — and switches
+// back once. A failing entry records its error and the rest still
+// run; only a dead target context fails the group as a whole.
+func (p *Proxy) executeBatch(f *hw.TrapFrame, call *callFrame, mm *mmu.MMU, meter *clock.Meter) {
+	crossing := p.callerCtx != p.targetCtx
+	if crossing {
+		if err := mm.CrossSwitchOn(f.CPU, p.targetCtx); err != nil {
+			err = fmt.Errorf("proxy: target domain gone: %w", err)
+			for i := range call.batch {
+				call.batch[i].SetResult(nil, err)
+			}
+			call.err = err
+			call.done = true
+			return
+		}
+	}
+	for i := range call.batch {
+		bc := &call.batch[i]
+		key, ok := bc.Key().(batchKey)
+		if !ok {
+			// A hand-built handle smuggled into the group: fail the
+			// entry, never panic inside the fault handler.
+			bc.SetResult(nil, errors.New("proxy: batch entry not resolved through this proxy"))
+			continue
+		}
+		meter.Charge(clock.OpBatchEntry)
+		meter.ChargeN(clock.OpCopyWord, wordsOf(bc.Args()))
+		res, err := key.th.Call(bc.Args()...)
+		meter.ChargeN(clock.OpCopyWord, wordsOf(res))
+		bc.SetResult(res, err)
+	}
+	if crossing {
+		if err := mm.CrossSwitchOn(f.CPU, p.callerCtx); err != nil {
+			// No caller context to return to; the per-entry results
+			// stand, and the group-level error reports the lost return
+			// leg exactly as a single call would.
+			call.err = fmt.Errorf("proxy: caller domain gone: %w", err)
+		}
+	}
+	call.done = true
 }
 
 // exitHandler decrements the in-flight handler count, waking Close
@@ -543,3 +711,4 @@ func wordsOf(vals []any) uint64 {
 
 var _ obj.Instance = (*Proxy)(nil)
 var _ obj.Invoker = (*entryIface)(nil)
+var _ obj.Batcher = (*Proxy)(nil)

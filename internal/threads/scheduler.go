@@ -40,9 +40,25 @@ type Scheduler struct {
 	nparked  atomic.Int64
 	runDone  bool
 
-	runMu  sync.Mutex // serializes RunUntilIdle calls
-	steals atomic.Uint64
-	parks  atomic.Uint64
+	// Persistent dispatcher pool: one parked host worker per CPU,
+	// spawned on the first parallel run and reused by every later one.
+	// genMu guards the run-generation counter the workers key on:
+	// RunUntilIdle bumps runGen and broadcasts, each worker runs its
+	// CPU's dispatch loop for that generation, and the last one out
+	// wakes the pump. genMu is a leaf lock: never held while taking mu
+	// or idleMu.
+	genMu         sync.Mutex
+	genCond       *sync.Cond
+	runGen        uint64
+	genActive     int
+	workersUp     bool
+	poolID        uint64       // bumped by Shutdown; workers of older pools exit
+	dispatched    atomic.Int64 // dispatches of the current generation
+	workerSpawns  atomic.Uint64
+	runMu         sync.Mutex // serializes RunUntilIdle calls
+	steals        atomic.Uint64
+	stolenThreads atomic.Uint64
+	parks         atomic.Uint64
 }
 
 // runqueue is one CPU's local deque: the owner pops from the front
@@ -73,6 +89,7 @@ func NewSchedulerCPUs(meter *clock.Meter, ncpu int) *Scheduler {
 	}
 	s := &Scheduler{meter: meter, cpus: make([]runqueue, ncpu)}
 	s.idleCond = sync.NewCond(&s.idleMu)
+	s.genCond = sync.NewCond(&s.genMu)
 	return s
 }
 
@@ -83,12 +100,25 @@ func (s *Scheduler) Meter() *clock.Meter { return s.meter }
 // on.
 func (s *Scheduler) NumCPUs() int { return len(s.cpus) }
 
-// Steals reports how many threads have been taken from another CPU's
-// run queue since construction.
+// Steals reports how many steal operations have taken work from
+// another CPU's run queue since construction. One operation moves up
+// to half the victim's deque (StolenThreads counts the threads).
 func (s *Scheduler) Steals() uint64 { return s.steals.Load() }
+
+// StolenThreads reports how many threads have migrated between CPUs
+// through steal operations. StolenThreads/Steals is the rebalancing
+// batch factor: near 1 under trickle load, climbing under bursty
+// pop-up load where whole half-deques move at once.
+func (s *Scheduler) StolenThreads() uint64 { return s.stolenThreads.Load() }
 
 // Parks reports how many times an idle CPU parked waiting for work.
 func (s *Scheduler) Parks() uint64 { return s.parks.Load() }
+
+// DispatcherSpawns reports how many host dispatcher goroutines the
+// scheduler has ever started. The persistent pool spawns one per CPU
+// on the first parallel run and reuses them: the count stays at
+// NumCPUs no matter how many times the scheduler is pumped.
+func (s *Scheduler) DispatcherSpawns() uint64 { return s.workerSpawns.Load() }
 
 func (s *Scheduler) newThread(name string, proto bool) *Thread {
 	s.mu.Lock()
@@ -325,9 +355,13 @@ func (s *Scheduler) pop(cpu int) *Thread {
 	return t
 }
 
-// stealFor scans the other CPUs' queues from a random starting victim,
-// taking the newest thread (the back of the deque) from the first
-// non-empty one.
+// stealFor scans the other CPUs' queues from a random starting victim
+// and, at the first non-empty one, takes HALF the deque from the back
+// (at least one thread; the owner keeps the front half and its FIFO
+// order). The newest stolen thread is returned for immediate dispatch
+// and the rest land on the thief's own queue, so a burst concentrated
+// on one CPU — many pop-up threads from one interrupt line — spreads
+// across the topology in O(log n) steal operations instead of O(n).
 func (s *Scheduler) stealFor(me int, rng *clock.Rand) *Thread {
 	n := len(s.cpus)
 	start := rng.Intn(n)
@@ -338,15 +372,44 @@ func (s *Scheduler) stealFor(me int, rng *clock.Rand) *Thread {
 		}
 		rq := &s.cpus[v]
 		rq.mu.Lock()
-		if ln := len(rq.q); ln > 0 {
-			t := rq.q[ln-1]
-			rq.q = rq.q[:ln-1]
+		ln := len(rq.q)
+		if ln == 0 {
 			rq.mu.Unlock()
-			s.nready.Add(-1)
-			s.steals.Add(1)
-			return t
+			continue
 		}
+		take := (ln + 1) / 2
+		batch := make([]*Thread, take)
+		copy(batch, rq.q[ln-take:])
+		// Clear the vacated tail so the victim's backing array does
+		// not pin migrated threads.
+		for j := ln - take; j < ln; j++ {
+			rq.q[j] = nil
+		}
+		rq.q = rq.q[:ln-take]
 		rq.mu.Unlock()
+		s.steals.Add(1)
+		s.stolenThreads.Add(uint64(take))
+
+		// Run the newest now; park the remainder on our own queue.
+		// Their nready counts are unchanged — they stay ready, only
+		// homed elsewhere — except for the one we dispatch ourselves.
+		t := batch[take-1]
+		s.nready.Add(-1)
+		if rest := batch[:take-1]; len(rest) > 0 {
+			my := &s.cpus[me]
+			my.mu.Lock()
+			my.q = append(my.q, rest...)
+			my.mu.Unlock()
+			// The surplus is stealable work other idle CPUs should see:
+			// wake them as an enqueue would. Broadcast, not Signal — a
+			// half-deque can feed several parked CPUs at once.
+			if s.nparked.Load() > 0 {
+				s.idleMu.Lock()
+				s.idleCond.Broadcast()
+				s.idleMu.Unlock()
+			}
+		}
+		return t
 	}
 	return nil
 }
@@ -381,37 +444,97 @@ func (s *Scheduler) advanceDueLocked() bool {
 	return true
 }
 
-// runParallel runs one dispatch loop per CPU until the whole system is
-// idle: every queue empty, every CPU parked, and no sleepers left to
-// advance the clock to.
+// runParallel pumps the persistent dispatcher pool through one run
+// generation and waits for it to go idle: every queue empty, every
+// CPU parked, and no sleepers left to advance the clock to. The pool
+// — one parked host goroutine per CPU — is spawned once, on the first
+// parallel run, and reused by every later pump: a long-running
+// embedding that calls RunUntilIdle repeatedly pays no per-call
+// goroutine creation, only a broadcast.
 func (s *Scheduler) runParallel() int {
 	s.idleMu.Lock()
 	s.runDone = false
 	s.parked = 0
 	s.nparked.Store(0)
 	s.idleMu.Unlock()
-	var dispatches atomic.Int64
-	var wg sync.WaitGroup
-	for i := range s.cpus {
-		wg.Add(1)
-		go func(cpu int) {
-			defer wg.Done()
-			s.dispatchLoop(cpu, &dispatches)
-		}(i)
+	s.dispatched.Store(0)
+	s.genMu.Lock()
+	if !s.workersUp {
+		s.workersUp = true
+		for i := range s.cpus {
+			s.workerSpawns.Add(1)
+			go s.dispatcher(i, s.poolID)
+		}
 	}
-	wg.Wait()
-	return int(dispatches.Load())
+	s.runGen++
+	s.genActive = len(s.cpus)
+	s.genCond.Broadcast()
+	for s.genActive > 0 {
+		s.genCond.Wait()
+	}
+	s.genMu.Unlock()
+	return int(s.dispatched.Load())
 }
 
-func (s *Scheduler) dispatchLoop(cpu int, dispatches *atomic.Int64) {
+// dispatcher is one CPU's persistent host worker: it parks on the
+// generation condvar between runs, runs its CPU's dispatch loop for
+// each new generation, and — as the last worker out of a generation —
+// wakes the pump. A worker that is slow re-parking cannot miss a
+// generation: it compares the counter, not the broadcast. A worker
+// whose pool has been shut down exits at the park point without ever
+// touching a newer pool's generation accounting.
+func (s *Scheduler) dispatcher(cpu int, pool uint64) {
 	rng := clock.NewRand(uint64(cpu)*0x9e3779b9 + 1)
+	var gen uint64
+	for {
+		s.genMu.Lock()
+		for s.runGen == gen && s.poolID == pool {
+			s.genCond.Wait()
+		}
+		if s.poolID != pool {
+			s.genMu.Unlock()
+			return
+		}
+		gen = s.runGen
+		s.genMu.Unlock()
+		s.dispatchLoop(cpu, rng)
+		s.genMu.Lock()
+		s.genActive--
+		if s.genActive == 0 {
+			s.genCond.Broadcast()
+		}
+		s.genMu.Unlock()
+	}
+}
+
+// Shutdown releases the persistent dispatcher pool: every parked
+// worker exits, so an embedding that discards a multi-CPU scheduler
+// does not strand NumCPUs host goroutines for the process lifetime.
+// It waits for any in-flight RunUntilIdle to finish first. The
+// scheduler remains usable — the next RunUntilIdle simply spawns a
+// fresh pool — so Shutdown is a release of idle resources, not a
+// terminal state. Single-CPU schedulers have no pool and Shutdown is
+// a no-op.
+func (s *Scheduler) Shutdown() {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	s.genMu.Lock()
+	if s.workersUp {
+		s.workersUp = false
+		s.poolID++
+		s.genCond.Broadcast()
+	}
+	s.genMu.Unlock()
+}
+
+func (s *Scheduler) dispatchLoop(cpu int, rng *clock.Rand) {
 	for {
 		t := s.pop(cpu)
 		if t == nil {
 			t = s.stealFor(cpu, rng)
 		}
 		if t != nil {
-			dispatches.Add(1)
+			s.dispatched.Add(1)
 			s.dispatch(cpu, t)
 			continue
 		}

@@ -1,9 +1,11 @@
 package threads
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"paramecium/internal/clock"
 )
@@ -62,24 +64,32 @@ func TestSpawnOnPlacesOnAffineQueue(t *testing.T) {
 	<-th.Done()
 }
 
-// TestStealTakesFromTail: a thief takes the newest thread from the
-// victim's deque (the owner pops the oldest from the front), and the
-// steal is counted.
-func TestStealTakesFromTail(t *testing.T) {
+// TestStealTakesHalfFromTail: a thief takes half the victim's deque
+// from the back — the newest thread to run immediately, the rest onto
+// its own queue — while the owner keeps the front half in FIFO order.
+func TestStealTakesHalfFromTail(t *testing.T) {
 	s, _ := newSchedN(2)
 	var ths []*Thread
-	for i := 0; i < 3; i++ {
+	for i := 0; i < 4; i++ {
 		ths = append(ths, s.SpawnOn(0, "victim-work", func(*Thread) {}))
 	}
 	stolen := s.stealFor(1, clock.NewRand(1))
 	if stolen == nil {
-		t.Fatal("nothing stolen from a 3-deep victim queue")
+		t.Fatal("nothing stolen from a 4-deep victim queue")
 	}
-	if stolen != ths[2] {
-		t.Fatalf("stole thread %d, want the newest (%d)", stolen.ID(), ths[2].ID())
+	if stolen != ths[3] {
+		t.Fatalf("stole thread %d, want the newest (%d)", stolen.ID(), ths[3].ID())
 	}
 	if s.Steals() != 1 {
-		t.Fatalf("steals = %d, want 1", s.Steals())
+		t.Fatalf("steal operations = %d, want 1", s.Steals())
+	}
+	if s.StolenThreads() != 2 {
+		t.Fatalf("stolen threads = %d, want 2 (half of 4)", s.StolenThreads())
+	}
+	// The other half of the batch landed on the thief's queue, oldest
+	// first; the victim keeps its front half in order.
+	if got := s.pop(1); got != ths[2] {
+		t.Fatalf("thief queue holds %v, want %d", got, ths[2].ID())
 	}
 	if popped := s.pop(0); popped != ths[0] {
 		t.Fatalf("owner popped %v, want the oldest (%d)", popped, ths[0].ID())
@@ -88,11 +98,106 @@ func TestStealTakesFromTail(t *testing.T) {
 	s.mu.Lock()
 	s.ready(stolen)
 	s.ready(ths[0])
+	s.ready(ths[2])
 	s.mu.Unlock()
 	s.RunUntilIdle()
 	for _, th := range ths {
 		<-th.Done()
 	}
+}
+
+// TestStealHalfRebalancesBurst: a burst of pop-up work concentrated on
+// one CPU — the shape a hot interrupt line produces — spreads across
+// the topology in far fewer steal operations than threads, because
+// each operation migrates half a deque. With one-at-a-time stealing
+// the operation count would equal the migrated-thread count.
+func TestStealHalfRebalancesBurst(t *testing.T) {
+	s, _ := newSchedN(4)
+	const burst = 64
+	var ran atomic.Int64
+	for i := 0; i < burst; i++ {
+		// Every thread is affined to CPU 0, exactly like pop-up threads
+		// of an interrupt bound there; the body is long enough that the
+		// other CPUs must steal to help.
+		s.PopUpEagerOn(0, "burst", func(th *Thread) {
+			th.Yield()
+			ran.Add(1)
+		})
+	}
+	s.RunUntilIdle()
+	if ran.Load() != burst {
+		t.Fatalf("%d ran, want %d", ran.Load(), burst)
+	}
+	ops, moved := s.Steals(), s.StolenThreads()
+	if ops == 0 || moved == 0 {
+		t.Fatal("a 64-thread burst on one CPU of four triggered no stealing")
+	}
+	if moved <= ops {
+		t.Fatalf("stolen threads (%d) <= steal operations (%d): stealing one at a time, not half-deques", moved, ops)
+	}
+}
+
+// TestPersistentDispatchersReused: the parallel run spawns one host
+// dispatcher per CPU once; repeated scheduler pumps reuse the parked
+// pool instead of spawning per call.
+func TestPersistentDispatchersReused(t *testing.T) {
+	s, _ := newSchedN(4)
+	const pumps = 10
+	var ran atomic.Int64
+	for p := 0; p < pumps; p++ {
+		for i := 0; i < 8; i++ {
+			s.Spawn("w", func(th *Thread) {
+				th.Yield()
+				ran.Add(1)
+			})
+		}
+		if got := s.RunUntilIdle(); got != 8*2 {
+			t.Fatalf("pump %d: dispatches = %d, want 16", p, got)
+		}
+	}
+	if ran.Load() != pumps*8 {
+		t.Fatalf("%d ran, want %d", ran.Load(), pumps*8)
+	}
+	if got := s.DispatcherSpawns(); got != 4 {
+		t.Fatalf("dispatcher spawns = %d over %d pumps, want one per CPU (4)", got, pumps)
+	}
+}
+
+// TestShutdownReleasesPoolAndRespawns: Shutdown retires the parked
+// dispatcher pool (no goroutines stranded for the process lifetime);
+// the scheduler stays usable and the next pump spawns a fresh pool.
+func TestShutdownReleasesPoolAndRespawns(t *testing.T) {
+	s, _ := newSchedN(2)
+	run := func() {
+		var ran atomic.Int64
+		for i := 0; i < 4; i++ {
+			s.Spawn("w", func(*Thread) { ran.Add(1) })
+		}
+		s.RunUntilIdle()
+		if ran.Load() != 4 {
+			t.Fatalf("%d ran, want 4", ran.Load())
+		}
+	}
+	run()
+	if got := s.DispatcherSpawns(); got != 2 {
+		t.Fatalf("spawns = %d, want 2", got)
+	}
+	before := runtime.NumGoroutine()
+	s.Shutdown()
+	// The two parked workers must exit; give the runtime a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before-2 && time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+	if got := runtime.NumGoroutine(); got > before-2 {
+		t.Fatalf("goroutines = %d after Shutdown, want <= %d", got, before-2)
+	}
+	s.Shutdown() // idempotent
+	run()        // respawns a fresh pool
+	if got := s.DispatcherSpawns(); got != 4 {
+		t.Fatalf("spawns = %d after respawn, want 4", got)
+	}
+	s.Shutdown()
 }
 
 // TestIdleCPUsParkAndWakeUnderHandoff: with far more CPUs than

@@ -78,6 +78,21 @@ func (s *System) Cycles() uint64 { return s.k.Meter.Clock.Now() }
 // NumCPUs reports the number of virtual CPUs the system booted with.
 func (s *System) NumCPUs() int { return s.k.Machine.NumCPUs() }
 
+// SharedCPULeases reports how many cross-domain calls found every
+// virtual CPU busy and were forced to share one (interleaving on its
+// TLB). A steadily climbing count is the signal that the workload —
+// concurrent callers, or calls nested inside other calls' target
+// methods, which hold their outer lease — has outgrown the topology
+// and needs WithCPUs(n) raised.
+func (s *System) SharedCPULeases() uint64 { return s.k.Machine.SharedLeases() }
+
+// Shutdown releases the scheduler's persistent dispatcher pool, so an
+// embedding that discards a multi-CPU system does not strand one
+// parked host goroutine per virtual CPU. The system remains usable;
+// the next scheduler pump spawns a fresh pool. Single-CPU systems
+// hold no pool and Shutdown is a no-op.
+func (s *System) Shutdown() { s.k.Sched.Shutdown() }
+
 // NewObject creates an empty object of the given class, wired to the
 // system's cycle meter. Export interfaces with AddInterface and bind
 // methods before registering it.
@@ -116,6 +131,24 @@ func (s *System) Bind(path string) (*Handle, error) {
 	}
 	return &Handle{path: path, inst: inst}, nil
 }
+
+// Batch is an ordered list of pre-resolved invocations executed
+// together: consecutive entries that resolved through one cross-domain
+// proxy cross the protection boundary in a single trap — one
+// context-switch pair for the whole group — amortizing the fixed
+// crossing cost the way active-message systems vector requests. Build
+// one with NewBatch (or Handle.Batch), Add resolved method handles,
+// then run it with Domain.CallBatch or System.CallBatch and read each
+// entry's results back with Results.
+type Batch = api.Batch
+
+// NewBatch returns an empty, reusable batch with room for n entries.
+func NewBatch(n int) *Batch { return api.NewBatch(n) }
+
+// CallBatch executes a batch from the kernel-resident embedding
+// program's call site; routing is carried by each entry's resolved
+// handle — see Domain.CallBatch.
+func (s *System) CallBatch(b *Batch) error { return s.k.CallBatch(b) }
 
 // Interpose replaces the instance at path with an interposing agent
 // built by build, returning a handle on the agent. All future binds
@@ -179,6 +212,15 @@ func (d *Domain) Bind(path string) (*Handle, error) {
 	return &Handle{path: path, inst: inst}, nil
 }
 
+// CallBatch executes a batch of pre-resolved invocations: consecutive
+// entries resolved through one cross-domain proxy are vectored across
+// the protection boundary in a single crossing. Per-entry results and
+// errors are read back from the batch; CallBatch returns the first
+// group-level routing error, if any. Routing is carried by each
+// entry's resolved handle (which was bound to its domain at Resolve
+// time) — the receiver is the call site, not a routing input.
+func (d *Domain) CallBatch(b *Batch) error { return d.d.CallBatch(b) }
+
 // Destroy tears the domain down, closing its proxies and releasing
 // its address space.
 func (d *Domain) Destroy() error { return d.s.k.DestroyDomain(d.d) }
@@ -223,6 +265,13 @@ func (h *Handle) Resolve(iface, method string) (api.MethodHandle, error) {
 	}
 	return iv.Resolve(method)
 }
+
+// Batch returns an empty batch sized for n entries — a convenience
+// for the common pattern of vectoring many calls through the methods
+// of one bound handle. Entries resolved from other handles may be
+// added too; grouping into single crossings follows each entry's own
+// route.
+func (h *Handle) Batch(n int) *Batch { return api.NewBatch(n) }
 
 // Invoke calls a method by name: the string-keyed compatibility path,
 // paying an interface and method lookup per call.

@@ -8,7 +8,10 @@
 // package; everything returned from there is expressed in these types.
 package api
 
-import "paramecium/internal/obj"
+import (
+	"paramecium/internal/obj"
+	"paramecium/internal/shm"
+)
 
 // Method is a late-bound method implementation. Arguments and results
 // are dynamically typed; the interface declaration carries the arity
@@ -132,3 +135,39 @@ func NewBatchableHandle(decl *MethodDecl, dispatch Method, into MethodInto, batc
 // NewBatch returns an empty batch with room for n entries. A batch is
 // reusable via Reset; see Batch.
 func NewBatch(n int) *Batch { return obj.NewBatch(n) }
+
+// SegmentRights is the access a shared-memory grant confers: RO maps
+// the segment read-only in the grantee's protection domain, RW maps it
+// read-write. The segment's owner always has read-write access.
+type SegmentRights = shm.Rights
+
+// Shared-memory grant rights.
+const (
+	RO SegmentRights = shm.RO
+	RW SegmentRights = shm.RW
+)
+
+// GrantRef is the unforgeable capability naming one shared-memory
+// grant. It is a single 64-bit word, so it crosses the invocation
+// plane as one copied word — pass it as an ordinary call argument and
+// the grantee attaches the segment instead of receiving copied bytes.
+// The proxy validates grant arguments before paying for the crossing:
+// a forged, revoked or misaddressed ref fails the call up front.
+type GrantRef = shm.GrantRef
+
+// Attachment is a grantee's live mapping of a shared segment: Load and
+// Store move bytes through the grantee's own MMU context, charged as
+// that domain's memory traffic — never as invocation-plane copies.
+// After the grant is revoked, both fail with ErrSegmentRevoked.
+type Attachment = shm.Attachment
+
+// Shared-memory errors.
+var (
+	// ErrSegmentRevoked reports an attach or access through a revoked
+	// grant: access was withdrawn, distinct from a never-issued ref.
+	ErrSegmentRevoked = shm.ErrRevoked
+	// ErrNoGrant reports a grant reference the kernel never issued.
+	ErrNoGrant = shm.ErrNoGrant
+	// ErrSegmentReadOnly reports a store through an RO grant.
+	ErrSegmentReadOnly = shm.ErrReadOnly
+)

@@ -246,6 +246,37 @@ func TestF5TrapCostSweepShape(t *testing.T) {
 	}
 }
 
+// TestP6ShareBeatsCopyByFourXAtPageSize pins the PR's acceptance
+// claim: at a 4 KiB payload the shared-segment path beats the
+// copy-through-batch path by at least 4x cycles per transfer, with the
+// attach (map) and revoke (shootdown path) charges included in the
+// share measurement.
+func TestP6ShareBeatsCopyByFourXAtPageSize(t *testing.T) {
+	tbl := P6BulkTransfer()
+	row := findRow(t, tbl, "4096")
+	copyCost, shareCost := num(t, row[1]), num(t, row[2])
+	if copyCost < 4*shareCost {
+		t.Fatalf("share advantage %.2fx at 4 KiB, want >= 4x (copy %.1f vs share %.1f cycles/op)",
+			copyCost/shareCost, copyCost, shareCost)
+	}
+}
+
+// TestP6ShapeIsFlatVsLinear: share cost is flat in payload size while
+// copy cost grows with it — the structural signature of zero-copy.
+func TestP6ShapeIsFlatVsLinear(t *testing.T) {
+	tbl := P6BulkTransfer()
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	small, large := tbl.Rows[0], tbl.Rows[len(tbl.Rows)-1]
+	if num(t, large[1]) < 10*num(t, small[1]) {
+		t.Fatalf("copy cost not growing with payload: %v -> %v", small[1], large[1])
+	}
+	if num(t, large[2]) > 2*num(t, small[2]) {
+		t.Fatalf("share cost not flat: %v -> %v", small[2], large[2])
+	}
+}
+
 func TestRenderAndAll(t *testing.T) {
 	tbl := Table{ID: "X", Title: "t", Header: []string{"a", "b"}}
 	tbl.AddRow("x", 1)

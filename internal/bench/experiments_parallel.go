@@ -71,7 +71,15 @@ func SharedCounterHandleCPUs(ncpu int) (obj.MethodHandle, *atomic.Int64, *World)
 	if err != nil {
 		panic(err)
 	}
-	bi.MustBind("inc", func(...any) ([]any, error) { return []any{n.Add(1)}, nil })
+	// Bound in the buffer-threading form, returning the counter's state
+	// pointer (one result word, same charge as the boxed count it used
+	// to return): callers that thread result buffers — the vectored
+	// plane's AddInto path — complete whole invocations with zero
+	// allocations.
+	bi.MustBindInto("inc", func(out []any, _ ...any) ([]any, error) {
+		n.Add(1)
+		return append(out, n), nil
+	})
 	serverDom := w.K.NewDomain("server")
 	clientDom := w.K.NewDomain("client")
 	if err := w.K.Register("/services/atomic", server, serverDom.Ctx); err != nil {
@@ -208,5 +216,6 @@ func AllParallel() []Table {
 		P2ParallelLookup(),
 		P3CPUTopology(),
 		P5BatchSweep(),
+		P6BulkTransfer(),
 	}
 }

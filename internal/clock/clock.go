@@ -83,6 +83,7 @@ const (
 	OpSchedule                // scheduler dispatch decision
 	OpNameLookupHop           // one hop in a name-space lookup
 	OpBatchEntry              // decode one entry of a vectored cross-domain call
+	OpTLBShootdown            // one remote-CPU TLB invalidation IPI
 	opCount
 )
 
@@ -107,6 +108,7 @@ var opNames = [...]string{
 	OpSchedule:      "schedule",
 	OpNameLookupHop: "name-hop",
 	OpBatchEntry:    "batch-entry",
+	OpTLBShootdown:  "tlb-shootdown",
 }
 
 // String returns the mnemonic for the operation.
@@ -159,6 +161,12 @@ func DefaultCosts() CostModel {
 	// and result base of one entry in the batch frame. Its ratio to
 	// OpTrapEnter+OpTrapExit+2*OpCtxSwitch sets the batching break-even.
 	m.Costs[OpBatchEntry] = 8
+	// Invalidating a page cached in a REMOTE CPU's TLB costs an
+	// inter-processor interrupt plus the remote invalidate — paid once
+	// per remote CPU that actually holds the entry. On a uniprocessor
+	// the remote set is empty and unmap-heavy workloads pay nothing,
+	// which is why every pre-multiprocessor baseline is unchanged.
+	m.Costs[OpTLBShootdown] = 150
 	return m
 }
 

@@ -25,6 +25,7 @@ import (
 	"paramecium/internal/obj"
 	"paramecium/internal/proxy"
 	"paramecium/internal/repoz"
+	"paramecium/internal/shm"
 	"paramecium/internal/threads"
 )
 
@@ -69,6 +70,13 @@ type Kernel struct {
 	Validator *cert.Validator
 	Repo      *repoz.Repository
 	Proxies   *proxy.Factory
+	// Shm is the shared-memory segment registry: the zero-copy bulk
+	// data plane the memory service brokers between protection domains.
+	// Grants are capabilities (unforgeable refs), validated by the
+	// proxy factory when passed across calls and condemned on
+	// DestroyDomain through the same sweep that kills names and
+	// proxies.
+	Shm *shm.Registry
 	// Nucleus is the static composition holding the four services.
 	Nucleus *obj.Composition
 
@@ -199,10 +207,18 @@ func Boot(cfg Config) (*Kernel, error) {
 		Validator: validator,
 		Repo:      repoz.New(),
 		Proxies:   proxy.NewFactory(memSvc, 0),
+		Shm:       shm.NewRegistry(memSvc),
 		placement: make(map[obj.Instance]mmu.ContextID),
 		domains:   make(map[mmu.ContextID]*Domain),
 		kprox:     proxyCache{m: make(map[obj.Instance]*proxy.Proxy)},
 	}
+	// Grant capabilities passed across calls are validated by the
+	// proxy before any crossing cost is paid, and a domain teardown's
+	// CloseTarget condemns the domain's segments through the same
+	// sweep that condemns its proxies — no fresh mapping (or call)
+	// appears after DestroyDomain returns.
+	k.Proxies.SetGrantRegistry(k.Shm)
+	k.Proxies.OnCloseTarget(k.Shm.CondemnDomain)
 
 	// The nucleus is the only static composition in the system.
 	nucleus := obj.NewStaticComposition("paramecium.nucleus", meter)
@@ -308,7 +324,11 @@ func (k *Kernel) DestroyDomain(d *Domain) error {
 	// the placement entries are removed: a Bind racing teardown either
 	// reads the old placement and fails on the condemned target, or
 	// (after the removal below) no placement at all — it can never
-	// build a live route into the dying context.
+	// build a live route into the dying context. The CloseTarget
+	// condemn also sweeps the shared-memory registry (via the hook
+	// registered at Boot): grants to the domain are revoked, segments
+	// it owns destroyed, and pending attaches fail — no fresh mapping
+	// appears after this call, just as no fresh proxy route does.
 	k.Proxies.CloseTarget(d.Ctx)
 	// The sweep holds regMu so it cannot interleave with a
 	// publishPlaced between its placement write and its publication —
@@ -372,9 +392,11 @@ func (k *Kernel) DestroyDomain(d *Domain) error {
 		return err
 	}
 	// The context is gone: the MMU now rejects every crossing into it,
-	// so the condemn entry is redundant and can be dropped (bounding
-	// the condemned set under domain churn).
+	// so the condemn entries — the proxy factory's and the segment
+	// registry's alike — are redundant and can be dropped (bounding
+	// the condemned sets under domain churn).
 	k.Proxies.Absolve(d.Ctx)
+	k.Shm.AbsolveDomain(d.Ctx)
 	return nil
 }
 

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"paramecium/internal/shm"
+)
+
+// TestDestroyDomainFailsPendingAttaches is the regression test for the
+// CloseTarget condemnation covering segment attaches: attaches racing
+// a DestroyDomain of their grantee either complete before the condemn
+// (and are revoked by it) or fail — once DestroyDomain returns, the
+// dying domain holds no segment mapping, no pending attach can create
+// one, and the MMU context is gone. Run under -race.
+func TestDestroyDomainFailsPendingAttaches(t *testing.T) {
+	k, err := Boot(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := k.NewDomain("owner")
+	victim := k.NewDomain("victim")
+
+	const grants = 64
+	refs := make([]shm.GrantRef, grants)
+	seg, err := k.Shm.NewSegment(owner.Ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range refs {
+		g, err := seg.Grant(victim.Ctx, shm.RW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = g.Ref()
+	}
+
+	// Attackers race attaches into the victim while it is destroyed.
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := w; i < grants; i += 4 {
+				_, _ = k.Shm.Attach(refs[i])
+			}
+		}(w)
+	}
+	wg.Add(1)
+	var destroyErr error
+	go func() {
+		defer wg.Done()
+		<-start
+		destroyErr = k.DestroyDomain(victim)
+	}()
+	close(start)
+	wg.Wait()
+	if destroyErr != nil {
+		t.Fatalf("DestroyDomain: %v", destroyErr)
+	}
+
+	// The context is gone and no mapping survived the teardown.
+	if k.Machine.MMU.HasContext(victim.Ctx) {
+		t.Fatal("victim context survives DestroyDomain")
+	}
+	// Every grant to the victim is now a revoked tombstone: a late
+	// attach fails with the distinct revocation error, never by
+	// creating a mapping.
+	for _, ref := range refs {
+		if _, err := k.Shm.Attach(ref); !errors.Is(err, shm.ErrRevoked) {
+			t.Fatalf("attach after destroy = %v, want ErrRevoked", err)
+		}
+	}
+}
+
+// TestDestroyDomainDestroysOwnedSegments: destroying a domain that
+// OWNS segments revokes every other domain's attachments of them and
+// releases the frames — the revocation side of the zero-copy plane.
+func TestDestroyDomainDestroysOwnedSegments(t *testing.T) {
+	k, err := Boot(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freeBefore := k.Machine.Phys.FreeFrames()
+	owner := k.NewDomain("owner")
+	reader := k.NewDomain("reader")
+
+	seg, err := k.Shm.NewSegment(owner.Ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seg.Store(0, []byte("bulk")); err != nil {
+		t.Fatal(err)
+	}
+	g, err := seg.Grant(reader.Ctx, shm.RO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	att, err := k.Shm.Attach(g.Ref())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b [4]byte
+	if err := att.Load(0, b[:]); err != nil || string(b[:]) != "bulk" {
+		t.Fatalf("pre-destroy read = (%v, %q)", err, b)
+	}
+
+	if err := k.DestroyDomain(owner); err != nil {
+		t.Fatal(err)
+	}
+	if err := att.Load(0, b[:]); !errors.Is(err, shm.ErrRevoked) {
+		t.Fatalf("reader attachment after owner destroy = %v, want ErrRevoked", err)
+	}
+	if got := k.Machine.MMU.Mappings(reader.Ctx); got != 0 {
+		t.Fatalf("reader still holds %d mappings of the dead owner's segment", got)
+	}
+	if err := k.DestroyDomain(reader); err != nil {
+		t.Fatal(err)
+	}
+	if free := k.Machine.Phys.FreeFrames(); free != freeBefore {
+		t.Fatalf("frames leaked across segment-owning domain teardown: %d free, want %d", free, freeBefore)
+	}
+}
+
+// TestSegmentGrantAfterDestroyFails: the whole grant plane refuses a
+// destroyed domain — grants to it, segments in it, attaches for it.
+func TestSegmentGrantAfterDestroyFails(t *testing.T) {
+	k, err := Boot(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := k.NewDomain("owner")
+	gone := k.NewDomain("gone")
+	seg, err := k.Shm.NewSegment(owner.Ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.DestroyDomain(gone); err != nil {
+		t.Fatal(err)
+	}
+	// The context was absolved after destruction, so the registry-level
+	// condemn gate is lifted — but the MMU context is gone, so every
+	// path still fails, now at the hardware.
+	if _, err := k.Shm.NewSegment(gone.Ctx, 1); err == nil {
+		t.Fatal("NewSegment in destroyed domain succeeded")
+	}
+	if g, err := seg.Grant(gone.Ctx, shm.RO); err == nil {
+		if _, err := k.Shm.Attach(g.Ref()); err == nil {
+			t.Fatal("attach into destroyed domain succeeded")
+		}
+	}
+}

@@ -59,6 +59,15 @@ func (c *CPU) Stats() (traps, irqs uint64) {
 	return c.traps.Load(), c.irqs.Load()
 }
 
+// TLBStats reports this CPU's TLB counters — hits, misses, flushes and
+// the cross-CPU shootdowns it received (entries its TLB held that a
+// map/unmap/protect on another CPU had to invalidate, one IPI charge
+// each). Per-CPU shootdown counts are how a workload sees which CPUs
+// were actually paying for page-mapping churn elsewhere in the machine.
+func (c *CPU) TLBStats() mmu.CPUTLBStats {
+	return c.m.MMU.TLBStatsOn(c.id)
+}
+
 // CPULease is a claim on one virtual CPU for the duration of an
 // operation. In-flight cross-domain calls acquire a lease so each call
 // runs on its own CPU when one is free — populating that CPU's TLB and

@@ -70,6 +70,7 @@ type Service struct {
 	pages    map[pageKey]uint64 // mapped page -> frame
 	handlers map[pageKey]FaultHandler
 	grants   map[string][]*IOGrant // region name -> active grants
+	arenas   map[mmu.ContextID]*vaArena
 
 	faultsResolved atomic.Uint64
 	faultsUnknown  atomic.Uint64
@@ -83,6 +84,7 @@ func New(machine *hw.Machine) *Service {
 		pages:    make(map[pageKey]uint64),
 		handlers: make(map[pageKey]FaultHandler),
 		grants:   make(map[string][]*IOGrant),
+		arenas:   make(map[mmu.ContextID]*vaArena),
 	}
 	machine.SetTrapHandler(hw.TrapPageFault, s.handleFault)
 	return s
@@ -146,8 +148,63 @@ func (s *Service) DestroyDomain(ctx mmu.ContextID) error {
 		}
 		s.grants[name] = kept
 	}
+	delete(s.arenas, ctx)
 	s.mu.Unlock()
 	return s.machine.MMU.DestroyContext(ctx)
+}
+
+// ShareBase is where kernel-brokered mappings — shared-memory segments
+// and their grantee-side attachments — are placed in a context's
+// address space when the caller does not pick addresses itself. It sits
+// well below the proxy entry-page arena (0x7000_0000), so brokered
+// data mappings and invocation entry slots never collide.
+const ShareBase mmu.VAddr = 0x5000_0000
+
+// vaArena is one context's reservation state: a bump pointer plus a
+// free list of released ranges keyed by length, so churn (segments and
+// attachments granted and revoked over and over) recycles address
+// space instead of marching the bump pointer toward the proxy arena.
+type vaArena struct {
+	next mmu.VAddr
+	free map[int][]mmu.VAddr // npages -> released bases
+}
+
+// ReserveVA reserves a contiguous range of n pages in ctx's address
+// space, starting at ShareBase, and returns its base address. Nothing
+// is mapped: reservation only guarantees that no other outstanding
+// reservation in the same context overlaps the range. Released ranges
+// (ReleaseVA) of the same length are reused exact-fit before the
+// arena grows. The arena is forgotten when the domain is destroyed.
+func (s *Service) ReserveVA(ctx mmu.ContextID, npages int) mmu.VAddr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := s.arenas[ctx]
+	if a == nil {
+		a = &vaArena{next: ShareBase, free: make(map[int][]mmu.VAddr)}
+		s.arenas[ctx] = a
+	}
+	if bases := a.free[npages]; len(bases) > 0 {
+		va := bases[len(bases)-1]
+		a.free[npages] = bases[:len(bases)-1]
+		return va
+	}
+	va := a.next
+	a.next += mmu.VAddr(npages * mmu.PageSize)
+	return va
+}
+
+// ReleaseVA returns a range previously obtained from ReserveVA to the
+// context's free list for reuse. The caller must have unmapped the
+// range first; double releases and foreign ranges are the caller's
+// bug, exactly like a heap free.
+func (s *Service) ReleaseVA(ctx mmu.ContextID, base mmu.VAddr, npages int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := s.arenas[ctx]
+	if a == nil {
+		return // domain already torn down; its whole arena is gone
+	}
+	a.free[npages] = append(a.free[npages], base)
 }
 
 // AllocPage allocates a fresh exclusive page at va in ctx.

@@ -383,3 +383,39 @@ func TestIOModeString(t *testing.T) {
 		t.Fatal("mode strings")
 	}
 }
+
+func TestReserveVAArena(t *testing.T) {
+	s, _ := newService(16)
+	a, b := s.NewDomain(), s.NewDomain()
+
+	// Reservations within one context never overlap; contexts are
+	// independent arenas starting at ShareBase.
+	r1 := s.ReserveVA(a, 2)
+	r2 := s.ReserveVA(a, 3)
+	if r1 != ShareBase {
+		t.Fatalf("first reservation at %#x, want ShareBase %#x", uint64(r1), uint64(ShareBase))
+	}
+	if r2 < r1+2*mmu.PageSize {
+		t.Fatalf("reservations overlap: %#x then %#x", uint64(r1), uint64(r2))
+	}
+	if got := s.ReserveVA(b, 2); got != ShareBase {
+		t.Fatalf("context b arena starts at %#x, want ShareBase", uint64(got))
+	}
+
+	// Released ranges are recycled exact-fit before the arena grows.
+	s.ReleaseVA(a, r1, 2)
+	if got := s.ReserveVA(a, 2); got != r1 {
+		t.Fatalf("2-page reservation = %#x, want recycled %#x", uint64(got), uint64(r1))
+	}
+	// A different length does not steal the freed range.
+	s.ReleaseVA(a, r2, 3)
+	if got := s.ReserveVA(a, 1); got == r2 {
+		t.Fatal("1-page reservation reused a 3-page range")
+	}
+
+	// DestroyDomain forgets the arena; a late release is a no-op.
+	if err := s.DestroyDomain(a); err != nil {
+		t.Fatal(err)
+	}
+	s.ReleaseVA(a, r2, 3)
+}

@@ -430,7 +430,7 @@ func (m *MMU) MapTagged(id ContextID, va VAddr, frame uint64, perm Perm, tag any
 		return ErrNoContext
 	}
 	pt.entries[va.VPN()] = PTE{Frame: frame, Perm: perm, Valid: true, Tag: tag}
-	m.invalidateAll(id, va.VPN())
+	m.invalidateAll(BootCPU, id, va.VPN())
 	return nil
 }
 
@@ -446,7 +446,7 @@ func (m *MMU) Unmap(id ContextID, va VAddr) error {
 		return ErrNoContext
 	}
 	delete(pt.entries, va.VPN())
-	m.invalidateAll(id, va.VPN())
+	m.invalidateAll(BootCPU, id, va.VPN())
 	return nil
 }
 
@@ -467,20 +467,38 @@ func (m *MMU) Protect(id ContextID, va VAddr, perm Perm) error {
 	}
 	pte.Perm = perm
 	pt.entries[va.VPN()] = pte
-	m.invalidateAll(id, va.VPN())
+	m.invalidateAll(BootCPU, id, va.VPN())
 	return nil
 }
 
 // invalidateAll shoots one page's entry out of every CPU's TLB. Callers
 // hold the page table's write lock, which excludes the translation walk
 // that could otherwise re-insert a stale entry concurrently.
-func (m *MMU) invalidateAll(id ContextID, vpn uint64) {
+//
+// The initiating CPU invalidates its own entry for free (part of the
+// map/unmap/protect instruction sequence), but every REMOTE CPU whose
+// TLB actually holds the entry costs an inter-processor interrupt:
+// OpTLBShootdown is charged once per such CPU, and the receiving CPU's
+// Shootdowns counter records it. CPUs that never cached the page cost
+// nothing — the charge partitions exactly across the CPUs that did.
+// Map/Unmap/Protect initiate from the boot CPU (the nucleus' memory
+// service runs there); on a uniprocessor the remote set is always
+// empty, so single-CPU cost baselines are unchanged.
+func (m *MMU) invalidateAll(initiator CPUID, id ContextID, vpn uint64) {
+	var remote uint64
 	for i := range m.cpus {
 		c := &m.cpus[i]
 		c.mu.Lock()
-		c.tlb.invalidate(id, vpn)
+		if c.tlb.present(id, vpn) {
+			c.tlb.invalidate(id, vpn)
+			if CPUID(i) != initiator {
+				c.tlb.shootdowns++
+				remote++
+			}
+		}
 		c.mu.Unlock()
 	}
+	m.meter.ChargeN(clock.OpTLBShootdown, remote)
 }
 
 // Lookup returns the PTE for the page containing va without charging
@@ -591,7 +609,11 @@ type CPUTLBStats struct {
 	Hits    uint64
 	Misses  uint64
 	Flushes uint64
-	Entries int // live entries at snapshot time
+	// Shootdowns counts cross-CPU invalidations this CPU RECEIVED:
+	// entries its TLB held that a Map/Unmap/Protect initiated on
+	// another CPU had to shoot down, one OpTLBShootdown charge each.
+	Shootdowns uint64
+	Entries    int // live entries at snapshot time
 }
 
 // TLBStatsOn reports one CPU's TLB counters. Each CPU's TLB is private,
@@ -602,10 +624,11 @@ func (m *MMU) TLBStatsOn(cpu CPUID) CPUTLBStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CPUTLBStats{
-		Hits:    c.tlb.hits,
-		Misses:  c.tlb.misses,
-		Flushes: c.tlb.flushes,
-		Entries: len(c.tlb.entries),
+		Hits:       c.tlb.hits,
+		Misses:     c.tlb.misses,
+		Flushes:    c.tlb.flushes,
+		Shootdowns: c.tlb.shootdowns,
+		Entries:    len(c.tlb.entries),
 	}
 }
 

@@ -1,0 +1,110 @@
+package mmu
+
+import (
+	"testing"
+
+	"paramecium/internal/clock"
+)
+
+// fillTLB translates va on the given CPUs so each of their TLBs caches
+// the page, then returns the meter's shootdown count at that point.
+func fillTLB(t *testing.T, m *MMU, ctx ContextID, va VAddr, cpus ...CPUID) {
+	t.Helper()
+	for _, cpu := range cpus {
+		if _, err := m.TranslateOn(cpu, ctx, va, AccessRead); err != nil {
+			t.Fatalf("TranslateOn(cpu %d): %v", cpu, err)
+		}
+	}
+}
+
+// TestShootdownChargePartitionsExactly maps one page, caches it in a
+// strict subset of the machine's TLBs, and asserts that Unmap charges
+// OpTLBShootdown once per REMOTE CPU that held the entry — no charge
+// for the initiating (boot) CPU's own invalidation, none for CPUs that
+// never cached the page — and that the per-CPU Shootdowns counters
+// record exactly which CPUs received an IPI.
+func TestShootdownChargePartitionsExactly(t *testing.T) {
+	meter := clock.NewMeter(clock.DefaultCosts())
+	m := New(meter, Config{CPUs: 4})
+	ctx := m.NewContext()
+	va := VAddr(0x4000)
+	if err := m.Map(ctx, va, 7, PermRead|PermWrite); err != nil {
+		t.Fatal(err)
+	}
+
+	// CPUs 0 (the initiator), 1 and 2 cache the page; CPU 3 never does.
+	fillTLB(t, m, ctx, va, 0, 1, 2)
+
+	before := meter.Count(clock.OpTLBShootdown)
+	cyclesBefore := meter.Clock.Now()
+	if err := m.Unmap(ctx, va); err != nil {
+		t.Fatal(err)
+	}
+	if got := meter.Count(clock.OpTLBShootdown) - before; got != 2 {
+		t.Fatalf("shootdowns charged = %d, want 2 (CPUs 1 and 2 held the entry; CPU 0 is the initiator, CPU 3 never cached it)", got)
+	}
+	wantCycles := 2 * meter.Model.Cost(clock.OpTLBShootdown)
+	if got := meter.Clock.Now() - cyclesBefore; got != wantCycles {
+		t.Fatalf("Unmap advanced the clock by %d cycles, want %d (two shootdowns)", got, wantCycles)
+	}
+	for cpu, want := range map[CPUID]uint64{0: 0, 1: 1, 2: 1, 3: 0} {
+		if got := m.TLBStatsOn(cpu).Shootdowns; got != want {
+			t.Errorf("CPU %d Shootdowns = %d, want %d", cpu, got, want)
+		}
+	}
+}
+
+// TestShootdownLocalOnlyIsFree asserts that unmapping a page cached
+// only in the initiating CPU's own TLB charges nothing: the local
+// invalidation is part of the unmap itself, not an IPI.
+func TestShootdownLocalOnlyIsFree(t *testing.T) {
+	meter := clock.NewMeter(clock.DefaultCosts())
+	m := New(meter, Config{CPUs: 4})
+	ctx := m.NewContext()
+	va := VAddr(0x4000)
+	if err := m.Map(ctx, va, 7, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	fillTLB(t, m, ctx, va, BootCPU)
+	before := meter.Count(clock.OpTLBShootdown)
+	if err := m.Unmap(ctx, va); err != nil {
+		t.Fatal(err)
+	}
+	if got := meter.Count(clock.OpTLBShootdown) - before; got != 0 {
+		t.Fatalf("shootdowns charged = %d, want 0 (only the initiator held the entry)", got)
+	}
+}
+
+// TestShootdownOnProtectAndRemap asserts Protect and a re-Map pay the
+// same remote-invalidation charge as Unmap: any PTE change must evict
+// remote cached copies.
+func TestShootdownOnProtectAndRemap(t *testing.T) {
+	meter := clock.NewMeter(clock.DefaultCosts())
+	m := New(meter, Config{CPUs: 2})
+	ctx := m.NewContext()
+	va := VAddr(0x8000)
+	if err := m.Map(ctx, va, 3, PermRead|PermWrite); err != nil {
+		t.Fatal(err)
+	}
+
+	fillTLB(t, m, ctx, va, 1)
+	before := meter.Count(clock.OpTLBShootdown)
+	if err := m.Protect(ctx, va, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if got := meter.Count(clock.OpTLBShootdown) - before; got != 1 {
+		t.Fatalf("Protect charged %d shootdowns, want 1", got)
+	}
+
+	fillTLB(t, m, ctx, va, 1)
+	before = meter.Count(clock.OpTLBShootdown)
+	if err := m.Map(ctx, va, 9, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if got := meter.Count(clock.OpTLBShootdown) - before; got != 1 {
+		t.Fatalf("re-Map charged %d shootdowns, want 1", got)
+	}
+	if got := m.TLBStatsOn(1).Shootdowns; got != 2 {
+		t.Fatalf("CPU 1 Shootdowns = %d, want 2", got)
+	}
+}

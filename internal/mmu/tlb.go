@@ -14,6 +14,10 @@ type tlb struct {
 	hits    uint64
 	misses  uint64
 	flushes uint64
+	// shootdowns counts cross-CPU invalidations RECEIVED: entries this
+	// TLB actually held that a Map/Unmap/Protect initiated on another
+	// CPU had to shoot down (one IPI each in the cost model).
+	shootdowns uint64
 }
 
 type tlbKey struct {
@@ -66,6 +70,13 @@ func (t *tlb) evictOldest() {
 		}
 		// Stale FIFO slot (entry was invalidated); keep scanning.
 	}
+}
+
+// present reports whether the TLB holds an entry for the page without
+// touching the hit/miss counters (an invalidation probe, not a lookup).
+func (t *tlb) present(ctx ContextID, vpn uint64) bool {
+	_, ok := t.entries[tlbKey{ctx, vpn}]
+	return ok
 }
 
 func (t *tlb) invalidate(ctx ContextID, vpn uint64) {

@@ -25,6 +25,7 @@ type Batcher interface {
 type BatchCall struct {
 	h    MethodHandle
 	args []any
+	out  []any // caller-provided result buffer (AddInto); may be nil
 	res  []any
 	err  error
 }
@@ -40,6 +41,12 @@ func (c *BatchCall) Args() []any { return c.args }
 // (see NewBatchableHandle). It is how a Batcher finds the target slot
 // without a name lookup.
 func (c *BatchCall) Key() any { return c.h.bkey }
+
+// Out returns the entry's caller-provided result buffer (nil unless
+// queued with AddInto). Batchers dispatch through it — CallInto-style —
+// so the entry's results land in caller-owned storage without an
+// allocation.
+func (c *BatchCall) Out() []any { return c.out }
 
 // SetResult records the entry's outcome. Batchers call it once per
 // entry; result arity against the declaration is the batcher's (or its
@@ -77,13 +84,25 @@ func NewBatch(n int) *Batch {
 // Add queues one invocation. Argument arity is validated immediately,
 // so a malformed entry fails at Add rather than poisoning Run.
 func (b *Batch) Add(h MethodHandle, args ...any) error {
+	return b.AddInto(h, nil, args...)
+}
+
+// AddInto is Add with a caller-provided result buffer: the entry's
+// results are appended to out (typically a zero-length slice over a
+// reused array), exactly as MethodHandle.CallInto threads a buffer
+// through a single call. A steady-state caller that reuses the batch
+// (Reset) and its per-entry buffers completes whole vectored rounds
+// with zero allocations for the batch machinery and results alike.
+// After Run, the entry's Results are out plus exactly the method's
+// results; the buffer's array is the caller's to reuse once read.
+func (b *Batch) AddInto(h MethodHandle, out []any, args ...any) error {
 	if h.call == nil {
 		return fmt.Errorf("%w: batch entry through zero method handle", ErrUnbound)
 	}
 	if err := CheckArity(h.decl, args); err != nil {
 		return err
 	}
-	b.calls = append(b.calls, BatchCall{h: h, args: args})
+	b.calls = append(b.calls, BatchCall{h: h, args: args, out: out})
 	return nil
 }
 
@@ -119,7 +138,11 @@ func (b *Batch) Run() error {
 	for i := 0; i < len(calls); {
 		c := &calls[i]
 		if c.h.batcher == nil {
-			c.res, c.err = c.h.Call(c.args...)
+			if c.out != nil {
+				c.res, c.err = c.h.CallInto(c.out, c.args...)
+			} else {
+				c.res, c.err = c.h.Call(c.args...)
+			}
 			i++
 			continue
 		}

@@ -175,6 +175,73 @@ func TestBatchGroupsConsecutiveSameBatcher(t *testing.T) {
 	}
 }
 
+// TestBatchAddIntoThreadsBuffers: entries queued with AddInto land
+// their results in the caller's own buffers, and a steady-state
+// Reset-and-refill round over reused buffers allocates nothing — the
+// vectored-plane twin of the single-call CallInto invariant.
+func TestBatchAddIntoThreadsBuffers(t *testing.T) {
+	iv, n := batchTestIface(t)
+	inc, err := iv.Resolve("inc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 4
+	b := NewBatch(size)
+	bufs := make([][1]any, size)
+	for i := 0; i < size; i++ {
+		if err := b.AddInto(inc, bufs[i][:0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < size; i++ {
+		res, err := b.Results(i)
+		if err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+		if &res[0] != &bufs[i][0] {
+			t.Fatalf("entry %d result not in the caller's buffer", i)
+		}
+	}
+	if *n != size {
+		t.Fatalf("counter = %d, want %d", *n, size)
+	}
+
+	// Steady state: rebuilt from the same buffers, a round allocates
+	// nothing.
+	allocs := testing.AllocsPerRun(100, func() {
+		b.Reset()
+		for i := 0; i < size; i++ {
+			if err := b.AddInto(inc, bufs[i][:0]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := b.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state AddInto round allocates %.1f allocs, want 0", allocs)
+	}
+}
+
+// TestBatchAddIntoValidatesLikeAdd: AddInto applies the same arity and
+// zero-handle validation as Add.
+func TestBatchAddIntoValidatesLikeAdd(t *testing.T) {
+	iv, _ := batchTestIface(t)
+	inc, _ := iv.Resolve("inc")
+	var buf [1]any
+	b := NewBatch(1)
+	if err := b.AddInto(inc, buf[:0], "unexpected"); !errors.Is(err, ErrArity) {
+		t.Fatalf("err = %v, want ErrArity", err)
+	}
+	if err := b.AddInto(MethodHandle{}, buf[:0]); !errors.Is(err, ErrUnbound) {
+		t.Fatalf("err = %v, want ErrUnbound", err)
+	}
+}
+
 // TestCallIntoZeroAlloc: the resolved into-path — dispatch, method
 // body, results — allocates nothing when the caller supplies the
 // result buffer. This is the single-call zero-allocation invariant

@@ -30,6 +30,7 @@ import (
 	"paramecium/internal/mem"
 	"paramecium/internal/mmu"
 	"paramecium/internal/obj"
+	"paramecium/internal/shm"
 )
 
 // Errors.
@@ -149,10 +150,20 @@ type Factory struct {
 	base   mmu.VAddr
 	frames frameTable
 
+	// grants, when set, validates shared-memory grant capabilities
+	// passed as call arguments; see SetGrantRegistry. Written once at
+	// boot, before the factory serves calls.
+	grants *shm.Registry
+
 	mu        sync.Mutex
 	nextVA    map[mmu.ContextID]mmu.VAddr
 	live      map[*Proxy]struct{}        // open proxies, for CloseTarget
 	condemned map[mmu.ContextID]struct{} // targets being torn down
+	// closeHooks run inside CloseTarget, right after the target is
+	// condemned: subsystems whose per-domain teardown must be atomic
+	// with the proxy condemn (the shared-memory registry) register
+	// here, so one CloseTarget quiesces calls and mappings together.
+	closeHooks []func(mmu.ContextID)
 }
 
 // NewFactory builds a factory allocating entry pages from base.
@@ -182,6 +193,8 @@ func NewFactory(svc *mem.Service, base mmu.VAddr) *Factory {
 func (f *Factory) CloseTarget(ctx mmu.ContextID) {
 	f.mu.Lock()
 	f.condemned[ctx] = struct{}{}
+	hooks := make([]func(mmu.ContextID), len(f.closeHooks))
+	copy(hooks, f.closeHooks)
 	var closing []*Proxy
 	for p := range f.live {
 		if p.targetCtx == ctx {
@@ -189,9 +202,55 @@ func (f *Factory) CloseTarget(ctx mmu.ContextID) {
 		}
 	}
 	f.mu.Unlock()
+	// The hooks run after the condemn is visible but before the drain:
+	// a pending segment attach into the dying domain either completed
+	// before its registry's condemn (and was revoked by it) or fails
+	// from here on — no fresh mapping appears after CloseTarget, just
+	// as no fresh proxy route does.
+	for _, h := range hooks {
+		h(ctx)
+	}
 	for _, p := range closing {
 		_ = p.Close()
 	}
+}
+
+// OnCloseTarget registers a hook to run inside every future
+// CloseTarget, after the target context is condemned. The kernel wires
+// the shared-memory registry's CondemnDomain here, so destroying a
+// domain fails pending segment attaches through the same sweep that
+// condemns its proxies.
+func (f *Factory) OnCloseTarget(h func(mmu.ContextID)) {
+	f.mu.Lock()
+	f.closeHooks = append(f.closeHooks, h)
+	f.mu.Unlock()
+}
+
+// SetGrantRegistry teaches the factory to validate shared-memory grant
+// capabilities (shm.GrantRef arguments) before carrying a call across
+// the boundary: a ref that is forged, revoked, or addressed to a
+// domain other than the call's target fails the call up front, before
+// any crossing cost is paid — the kernel validates capability words
+// while decoding, not after delivering. Call once at boot, before the
+// factory serves calls.
+func (f *Factory) SetGrantRegistry(reg *shm.Registry) { f.grants = reg }
+
+// checkGrantArgs validates any grant capabilities among a call's
+// arguments for delivery to the target context. The scan is a type
+// assertion per argument — no charge, exactly like arity validation.
+func (p *Proxy) checkGrantArgs(args []any) error {
+	reg := p.factory.grants
+	if reg == nil {
+		return nil
+	}
+	for _, a := range args {
+		if ref, ok := a.(shm.GrantRef); ok {
+			if err := reg.CheckDeliverable(ref, p.targetCtx); err != nil {
+				return fmt.Errorf("proxy: grant argument: %w", err)
+			}
+		}
+	}
+	return nil
 }
 
 // Absolve forgets a condemned target context, bounding the condemned
@@ -585,7 +644,19 @@ func (e *entryIface) handleFault(f *hw.TrapFrame) bool {
 		return false
 	}
 
-	// Map in arguments.
+	// Validate any grant capabilities among the arguments before
+	// paying for anything: a grant that is forged, revoked, or not
+	// addressed to the target fails the call with no copy or crossing
+	// charged — the kernel rejects bad capability words at decode.
+	if err := p.checkGrantArgs(call.args); err != nil {
+		call.err = err
+		call.done = true
+		return false
+	}
+
+	// Map in arguments. A shared-memory grant crosses as a single
+	// capability word (wordsOf charges its 8 bytes like any scalar):
+	// the segment's payload never touches the invocation plane.
 	meter.ChargeN(clock.OpCopyWord, wordsOf(call.args))
 
 	// The call runs in the caller's domain and crosses into the
@@ -658,10 +729,32 @@ func (p *Proxy) executeBatch(f *hw.TrapFrame, call *callFrame, mm *mmu.MMU, mete
 			bc.SetResult(nil, errors.New("proxy: batch entry not resolved through this proxy"))
 			continue
 		}
+		if err := p.checkGrantArgs(bc.Args()); err != nil {
+			// A bad grant capability fails only its own entry, exactly
+			// like a failing method; nothing of it was charged.
+			bc.SetResult(nil, err)
+			continue
+		}
 		meter.Charge(clock.OpBatchEntry)
 		meter.ChargeN(clock.OpCopyWord, wordsOf(bc.Args()))
-		res, err := key.th.Call(bc.Args()...)
-		meter.ChargeN(clock.OpCopyWord, wordsOf(res))
+		// Dispatch through the entry's caller-provided result buffer
+		// when one was supplied (Batch.AddInto): the target's results
+		// land in caller-owned storage, keeping the steady-state
+		// vectored plane allocation-free. Only the appended results
+		// crossed the boundary, so only they are charged.
+		var res []any
+		var err error
+		if out := bc.Out(); out != nil {
+			res, err = key.th.CallInto(out, bc.Args()...)
+			copied := res
+			if n := len(out); n > 0 && len(copied) >= n {
+				copied = copied[n:]
+			}
+			meter.ChargeN(clock.OpCopyWord, wordsOf(copied))
+		} else {
+			res, err = key.th.Call(bc.Args()...)
+			meter.ChargeN(clock.OpCopyWord, wordsOf(res))
+		}
 		bc.SetResult(res, err)
 	}
 	if crossing {

@@ -1,0 +1,283 @@
+// Tests and a runnable example for the shared-memory segment surface:
+// the zero-copy bulk data plane. Like api_test.go, this file imports
+// only the public paramecium and paramecium/api packages.
+package paramecium_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"paramecium"
+	"paramecium/api"
+)
+
+// ExampleDomain_NewSegment shows the zero-copy handshake: a producer
+// domain creates a segment and fills it, grants it read-only to a
+// consumer domain, and passes the grant across a call as a single
+// capability word. The consumer attaches the segment and reads the
+// payload in place — no byte of it ever crosses the invocation plane.
+func ExampleDomain_NewSegment() {
+	sys, err := paramecium.Boot()
+	if err != nil {
+		panic(err)
+	}
+	producer := sys.NewDomain("producer")
+	consumer := sys.NewDomain("consumer")
+
+	// The consumer exports a service that accepts a grant ref.
+	decl := api.MustInterfaceDecl("example.sink.v1",
+		api.MethodDecl{Name: "consume", NumIn: 2, NumOut: 1})
+	sink := sys.NewObject("sink")
+	bi, err := sink.AddInterface(decl, nil)
+	if err != nil {
+		panic(err)
+	}
+	bi.MustBind("consume", func(args ...any) ([]any, error) {
+		ref, n := args[0].(api.GrantRef), args[1].(int)
+		att, err := sys.AttachGrant(ref) // map, don't copy
+		if err != nil {
+			return nil, err
+		}
+		data := make([]byte, n)
+		if err := att.Load(0, data); err != nil {
+			return nil, err
+		}
+		return []any{string(data)}, nil
+	})
+	if err := consumer.Register("/services/sink", sink); err != nil {
+		panic(err)
+	}
+
+	// The producer shares four pages and sends only the capability.
+	seg, err := producer.NewSegment(4)
+	if err != nil {
+		panic(err)
+	}
+	payload := []byte("sixteen kilobytes of bulk data, one word on the wire")
+	if err := seg.Store(0, payload); err != nil {
+		panic(err)
+	}
+	ref, err := seg.Grant(consumer, api.RO)
+	if err != nil {
+		panic(err)
+	}
+	consume, err := producer.Bind("/services/sink")
+	if err != nil {
+		panic(err)
+	}
+	res, err := consume.Invoke("example.sink.v1", "consume", ref, len(payload))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("consumed %d bytes in place: %q...\n", len(res[0].(string)), res[0].(string)[:13])
+	// Output: consumed 52 bytes in place: "sixteen kilob"...
+}
+
+// TestSegmentZeroCopyCheaperThanCopying asserts the cost-model claim
+// behind the whole subsystem. Copying 16 KiB through a call charges a
+// copy word per 8 payload bytes ON TOP of the crossing, every time,
+// whether or not the consumer needed every byte. Sharing a segment
+// charges the capability word and the mapping machinery; the payload
+// is then the consumer's own memory — it touches what it uses (here, a
+// descriptor header, the classic network-stack pattern) and pays its
+// own memory traffic for exactly that, never an invocation-plane copy.
+func TestSegmentZeroCopyCheaperThanCopying(t *testing.T) {
+	sys, err := paramecium.Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	producer := sys.NewDomain("producer")
+	consumer := sys.NewDomain("consumer")
+	const size = 16 << 10
+
+	decl := api.MustInterfaceDecl("bench.sink.v1",
+		api.MethodDecl{Name: "copy", NumIn: 1, NumOut: 1},
+		api.MethodDecl{Name: "share", NumIn: 1, NumOut: 1})
+	sink := sys.NewObject("sink")
+	bi, err := sink.AddInterface(decl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both paths do the same work: validate the frame's 8-byte header.
+	bi.MustBind("copy", func(args ...any) ([]any, error) {
+		return []any{args[0].([]byte)[0]}, nil
+	})
+	var hdr [8]byte
+	bi.MustBind("share", func(args ...any) ([]any, error) {
+		att, err := sys.AttachGrant(args[0].(api.GrantRef))
+		if err != nil {
+			return nil, err
+		}
+		if err := att.Load(0, hdr[:]); err != nil {
+			return nil, err
+		}
+		return []any{hdr[0]}, nil
+	})
+	if err := consumer.Register("/services/sink", sink); err != nil {
+		t.Fatal(err)
+	}
+	h, err := producer.Bind("/services/sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	payload := bytes.Repeat([]byte{0x5A}, size)
+	seg, err := producer.NewSegment(size / 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seg.Store(0, payload); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := seg.Grant(consumer, api.RO)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 8
+	before := sys.Cycles()
+	for i := 0; i < rounds; i++ {
+		if res, err := h.Invoke("bench.sink.v1", "copy", payload); err != nil || res[0].(byte) != 0x5A {
+			t.Fatalf("copy round %d: (%v, %v)", i, res, err)
+		}
+	}
+	copyCost := (sys.Cycles() - before) / rounds
+
+	before = sys.Cycles()
+	for i := 0; i < rounds; i++ {
+		if res, err := h.Invoke("bench.sink.v1", "share", ref); err != nil || res[0].(byte) != 0x5A {
+			t.Fatalf("share round %d: (%v, %v)", i, res, err)
+		}
+	}
+	shareCost := (sys.Cycles() - before) / rounds
+
+	// Per delivery, the copy path pays size/8 = 2048 words the share
+	// path never does; both pay the same crossing. Require the share
+	// path to win by at least 2x (it wins by ~3.5x here; the batched
+	// P6 benchmark pushes this past 4x by amortizing the crossing).
+	if 2*shareCost >= copyCost {
+		t.Fatalf("share cost %d/op not clearly below copy cost %d/op for %d bytes", shareCost, copyCost, size)
+	}
+}
+
+// TestSegmentRevocationIsObservable: revoking a grant cuts the
+// consumer off with the distinct ErrSegmentRevoked — not a generic
+// lookup failure — and destroying the producer domain revokes
+// everything it ever granted.
+func TestSegmentRevocationIsObservable(t *testing.T) {
+	sys, err := paramecium.Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	producer := sys.NewDomain("producer")
+	consumer := sys.NewDomain("consumer")
+	seg, err := producer.NewSegment(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := seg.Grant(consumer, api.RW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	att, err := seg.Map(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := att.Store(0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := seg.Revoke(ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := att.Store(0, []byte{2}); !errors.Is(err, api.ErrSegmentRevoked) {
+		t.Fatalf("store after revoke = %v, want ErrSegmentRevoked", err)
+	}
+	if _, err := sys.AttachGrant(ref); !errors.Is(err, api.ErrSegmentRevoked) {
+		t.Fatalf("re-attach after revoke = %v, want ErrSegmentRevoked", err)
+	}
+	// Forged refs are a different failure.
+	if _, err := sys.AttachGrant(ref + 1); !errors.Is(err, api.ErrNoGrant) {
+		t.Fatalf("forged ref = %v, want ErrNoGrant", err)
+	}
+
+	// Owner teardown revokes outstanding grants wholesale.
+	ref2, err := seg.Grant(consumer, api.RO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	att2, err := sys.AttachGrant(ref2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := producer.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := att2.Load(0, make([]byte, 1)); !errors.Is(err, api.ErrSegmentRevoked) {
+		t.Fatalf("load after owner destroy = %v, want ErrSegmentRevoked", err)
+	}
+}
+
+// TestSegmentScopedCapabilities: the public Segment.Revoke and
+// Segment.Map refuse a ref issued for a different segment — a mixed-up
+// variable cannot revoke or map a grant the caller never meant to
+// touch. System.AttachGrant remains the unscoped form.
+func TestSegmentScopedCapabilities(t *testing.T) {
+	sys, err := paramecium.Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := sys.NewDomain("owner")
+	grantee := sys.NewDomain("grantee")
+	segA, err := owner.NewSegment(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segB, err := owner.NewSegment(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refB, err := segB.Grant(grantee, api.RW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := segA.Revoke(refB); !errors.Is(err, api.ErrNoGrant) {
+		t.Fatalf("segA.Revoke(refOfB) = %v, want ErrNoGrant", err)
+	}
+	if _, err := segA.Map(refB); !errors.Is(err, api.ErrNoGrant) {
+		t.Fatalf("segA.Map(refOfB) = %v, want ErrNoGrant", err)
+	}
+	// The grant is untouched and still maps through its own segment.
+	if _, err := segB.Map(refB); err != nil {
+		t.Fatalf("segB.Map after mixed-up calls: %v", err)
+	}
+}
+
+// TestSegmentRightsEnforced: an RO attachment refuses stores.
+func TestSegmentRightsEnforced(t *testing.T) {
+	sys, err := paramecium.Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := sys.NewDomain("owner")
+	reader := sys.NewDomain("reader")
+	seg, err := owner.NewSegment(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := seg.Grant(reader, api.RO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	att, err := sys.AttachGrant(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := att.Store(0, []byte{1}); !errors.Is(err, api.ErrSegmentReadOnly) {
+		t.Fatalf("store through RO grant = %v, want ErrSegmentReadOnly", err)
+	}
+	if err := att.Load(0, make([]byte, 1)); err != nil {
+		t.Fatalf("load through RO grant: %v", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"paramecium/internal/hw"
 	"paramecium/internal/mmu"
 	"paramecium/internal/obj"
+	"paramecium/internal/shm"
 )
 
 // MachineConfig configures the simulated hardware a system boots on:
@@ -150,6 +151,28 @@ func NewBatch(n int) *Batch { return api.NewBatch(n) }
 // handle — see Domain.CallBatch.
 func (s *System) CallBatch(b *Batch) error { return s.k.CallBatch(b) }
 
+// NewSegment creates a shared-memory segment of n pages owned by the
+// kernel protection domain: the zero-copy bulk data plane. Grant it to
+// application domains and pass the grant ref across calls; the grantee
+// attaches the segment instead of receiving copied bytes. See Segment.
+func (s *System) NewSegment(pages int) (*Segment, error) {
+	seg, err := s.k.Shm.NewSegment(mmu.KernelContext, pages)
+	if err != nil {
+		return nil, err
+	}
+	return &Segment{s: s, seg: seg}, nil
+}
+
+// AttachGrant maps a granted segment into its grantee's protection
+// domain and returns the live attachment — the grantee-side half of
+// the zero-copy handshake, for holders that received a bare GrantRef
+// through a call rather than the *Segment itself. Attaching twice
+// returns the same attachment; a revoked grant fails with
+// api.ErrSegmentRevoked and a forged ref with api.ErrNoGrant.
+func (s *System) AttachGrant(ref api.GrantRef) (*api.Attachment, error) {
+	return s.k.Shm.Attach(ref)
+}
+
 // Interpose replaces the instance at path with an interposing agent
 // built by build, returning a handle on the agent. All future binds
 // resolve to the agent; existing handles are unaffected — the paper's
@@ -221,9 +244,83 @@ func (d *Domain) Bind(path string) (*Handle, error) {
 // time) — the receiver is the call site, not a routing input.
 func (d *Domain) CallBatch(b *Batch) error { return d.d.CallBatch(b) }
 
-// Destroy tears the domain down, closing its proxies and releasing
-// its address space.
+// NewSegment creates a shared-memory segment of n pages owned by this
+// domain; see System.NewSegment and Segment.
+func (d *Domain) NewSegment(pages int) (*Segment, error) {
+	seg, err := d.s.k.Shm.NewSegment(d.d.Ctx, pages)
+	if err != nil {
+		return nil, err
+	}
+	return &Segment{s: d.s, seg: seg}, nil
+}
+
+// Destroy tears the domain down, closing its proxies, revoking its
+// shared-memory grants and segments, and releasing its address space.
 func (d *Domain) Destroy() error { return d.s.k.DestroyDomain(d.d) }
+
+// Segment is a shared-memory segment: N pages of refcounted physical
+// frames owned by one protection domain, the zero-copy bulk data plane
+// between domains. The lifecycle is create → Grant (a capability,
+// passed across a call as one word) → Map (the grantee's attachment) →
+// Revoke (unmaps it from the grantee everywhere, paying the
+// per-remote-CPU TLB shootdown charge for pages still cached).
+//
+// Cost model: attaching charges the mapping machinery and later TLB
+// fills; the payload bytes are charged only as the reading or writing
+// domain's own memory traffic — they never cross the invocation plane.
+// Prefer a segment over a batch whenever the payload, not the call
+// count, is what's being amortized.
+type Segment struct {
+	s   *System
+	seg *shm.Segment
+}
+
+// Pages reports the segment's length in pages.
+func (sg *Segment) Pages() int { return sg.seg.Pages() }
+
+// Size reports the segment's length in bytes.
+func (sg *Segment) Size() int { return sg.seg.Size() }
+
+// Grant issues a grant of the segment to a domain with the given
+// rights and returns its unforgeable capability reference. Pass the
+// ref to the grantee (typically as a call argument — it crosses as a
+// single word); the grantee attaches with Segment.Map or
+// System.AttachGrant. Grants are not transferable: the proxy rejects
+// a ref delivered to any domain other than its grantee.
+func (sg *Segment) Grant(to *Domain, rights api.SegmentRights) (api.GrantRef, error) {
+	g, err := sg.seg.Grant(to.d.Ctx, rights)
+	if err != nil {
+		return 0, err
+	}
+	return g.Ref(), nil
+}
+
+// Map attaches a grant of this segment into its grantee's protection
+// domain, returning the live attachment. Like System.AttachGrant but
+// scoped: a ref naming some other segment's grant is rejected with
+// api.ErrNoGrant instead of silently mapping the wrong segment.
+func (sg *Segment) Map(ref api.GrantRef) (*api.Attachment, error) {
+	return sg.seg.Attach(ref)
+}
+
+// Revoke withdraws one grant of this segment: the grantee's mapping is
+// unmapped (TLB shootdowns charged for remotely cached pages), and
+// every later attach or access through the grant fails with
+// api.ErrSegmentRevoked. A ref naming some other segment's grant is
+// rejected with api.ErrNoGrant — a mixed-up ref can never revoke a
+// grant the caller didn't mean to touch.
+func (sg *Segment) Revoke(ref api.GrantRef) error {
+	return sg.seg.Revoke(ref)
+}
+
+// Destroy revokes every grant of the segment and releases its frames.
+func (sg *Segment) Destroy() error { return sg.seg.Destroy() }
+
+// Store copies p into the segment at off (owner-side access).
+func (sg *Segment) Store(off int, p []byte) error { return sg.seg.Store(off, p) }
+
+// Load copies from the segment at off into p (owner-side access).
+func (sg *Segment) Load(off int, p []byte) error { return sg.seg.Load(off, p) }
 
 // Handle is a typed handle on an instance bound from the name space.
 // It pins the binding made at Bind time: later interpositions or

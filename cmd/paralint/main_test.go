@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestParalintTreeClean is the smoke gate: paralint over the whole
+// module must exit 0 with no output.
+func TestParalintTreeClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("paralint ./... exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("expected no findings, got:\n%s", stdout.String())
+	}
+}
+
+func TestParalintList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("paralint -list exited %d: %s", code, stderr.String())
+	}
+	for _, name := range []string{"chargepath", "lockorder", "hotpathalloc", "atomicmix", "cpustate"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestParalintUnknownAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-analyzers", "nosuch"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown analyzer should exit 2, got %d", code)
+	}
+}

@@ -29,6 +29,16 @@
 // monolithic-kernel baseline (baseline), monitoring tools (trace) and
 // the experiment harness (bench).
 //
+// The invariants the design leans on are enforced statically by
+// paralint (internal/analysis, run by CI as cmd/paralint): every raw
+// byte movement in the data planes is dominated by a clock charge,
+// the documented mutex ranks are never inverted, fields accessed via
+// sync/atomic are never accessed plainly, and per-CPU state is only
+// reached through a blessed CPU identity. Functions on the invocation
+// or data fast path carry the //paramecium:hotpath directive in their
+// doc comment, which holds them to hotpathalloc's zero-allocation
+// rules — annotate any new fast-path function the same way.
+//
 // See README.md for a package tour and a quickstart that uses only
 // the public API.
 package paramecium

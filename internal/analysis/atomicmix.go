@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicMix flags struct fields that are accessed through sync/atomic
+// in one place and by a plain read or write in another. Mixing the two
+// silently downgrades the atomic sites: the plain access races with
+// them, and -race only catches it when the interleaving actually
+// happens. A field is classified as atomic when its address is passed
+// to any sync/atomic function; every other appearance of that field is
+// then required to be atomic too.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields accessed via sync/atomic must never be accessed plainly",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) error {
+	// Pass 1: find fields whose address flows into a sync/atomic call.
+	atomicFields := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass.TypesInfo, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				if obj := fieldObject(pass.TypesInfo, un.X); obj != nil {
+					atomicFields[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: any other use of those fields must be under sync/atomic.
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := fieldObject(pass.TypesInfo, sel)
+			if obj == nil || !atomicFields[obj] {
+				return true
+			}
+			if underAtomicCall(pass.TypesInfo, stack) {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(), "field %s is accessed with sync/atomic elsewhere; this plain access races with those atomic operations", obj.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports a call to a function in sync/atomic.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := info.Uses[id].(*types.PkgName)
+	return ok && pkg.Imported().Path() == "sync/atomic"
+}
+
+// fieldObject resolves an expression to the struct field it selects.
+func fieldObject(info *types.Info, e ast.Expr) types.Object {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj()
+}
+
+// underAtomicCall reports whether the innermost enclosing call in the
+// walk stack is a sync/atomic call taking the node's address.
+func underAtomicCall(info *types.Info, stack []ast.Node) bool {
+	// stack[len-1] is the selector itself; look for &sel directly inside
+	// an atomic call.
+	if len(stack) < 3 {
+		return false
+	}
+	un, ok := stack[len(stack)-2].(*ast.UnaryExpr)
+	if !ok || un.Op.String() != "&" {
+		return false
+	}
+	call, ok := stack[len(stack)-3].(*ast.CallExpr)
+	return ok && isAtomicCall(info, call)
+}

@@ -1,0 +1,45 @@
+// Package atomicmix is the golden suite for the atomicmix analyzer:
+// a field accessed through sync/atomic anywhere must be accessed
+// through sync/atomic everywhere.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	hits  uint64
+	total uint64
+	name  string
+}
+
+// bump and read establish hits as an atomic field.
+func (c *counter) bump() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counter) read() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+// racyRead reads the atomic field plainly.
+func (c *counter) racyRead() uint64 {
+	return c.hits // want `field hits is accessed with sync/atomic elsewhere`
+}
+
+// racyReset writes it plainly.
+func (c *counter) racyReset() {
+	c.hits = 0 // want `field hits is accessed with sync/atomic elsewhere`
+}
+
+// bumpTotal touches only plain fields: fine.
+func (c *counter) bumpTotal() {
+	c.total++
+	_ = c.name
+}
+
+// newCounter initializes before publication, a reviewed deviation.
+func newCounter() *counter {
+	c := &counter{}
+	//paralint:ignore atomicmix pre-publication initialization cannot race
+	c.hits = 42
+	return c
+}

@@ -1,0 +1,95 @@
+// Package lockorder is the golden suite for the lockorder analyzer:
+// its Registry.mu (rank 1) → Segment.mu (rank 2) → Grant.mu (rank 3)
+// hierarchy mirrors the shm package's documented order.
+package lockorder
+
+import "sync"
+
+type Registry struct {
+	mu       sync.Mutex
+	segments []*Segment
+}
+
+type Segment struct {
+	mu     sync.Mutex
+	grants []*Grant
+}
+
+type Grant struct {
+	mu      sync.Mutex
+	revoked bool
+}
+
+// revokeAll walks the hierarchy in the documented order.
+func (r *Registry) revokeAll() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.segments {
+		s.mu.Lock()
+		for _, g := range s.grants {
+			g.mu.Lock()
+			g.revoked = true
+			g.mu.Unlock()
+		}
+		s.mu.Unlock()
+	}
+}
+
+// revokeUpward acquires against the documented order.
+func (g *Grant) revokeUpward(s *Segment) {
+	g.mu.Lock()
+	s.mu.Lock() // want `lock order inversion: acquiring lockorder\.Segment\.mu \(rank 2\) while holding lockorder\.Grant\.mu \(rank 3\)`
+	s.mu.Unlock()
+	g.mu.Unlock()
+}
+
+// doubleLock reacquires a lock it already holds.
+func (r *Registry) doubleLock() {
+	r.mu.Lock()
+	r.mu.Lock() // want `self-deadlock`
+	r.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// sequential holds the locks one at a time: order is irrelevant.
+func (g *Grant) sequential(s *Segment) {
+	g.mu.Lock()
+	g.mu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// lockRegistry is a helper whose acquire set propagates to callers.
+func lockRegistry(r *Registry) {
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+// viaHelper inverts the order through the helper call.
+func (g *Grant) viaHelper(r *Registry) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	lockRegistry(r) // want `lock order inversion: acquiring lockorder\.Registry\.mu \(rank 1\) while holding lockorder\.Grant\.mu \(rank 3\)`
+}
+
+// earlyReturn releases on the fast path and proceeds in order on the
+// slow one.
+func (r *Registry) earlyReturn(s *Segment, fast bool) {
+	r.mu.Lock()
+	if fast {
+		r.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	s.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// reviewed is a documented deviation the analyzer must honor.
+func (s *Segment) reviewed(g *Grant) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	//paralint:ignore lockorder reviewed: this segment is private to the caller, no concurrent registry walk can hold its lock
+	s.mu.Lock()
+	s.mu.Unlock()
+}

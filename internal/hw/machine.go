@@ -317,6 +317,10 @@ func (m *Machine) TouchTagged(ctx mmu.ContextID, va mmu.VAddr, access mmu.Access
 	return err
 }
 
+// accessOn moves buf through the MMU page by page on one CPU: the
+// memory-access data plane under every Load/Store.
+//
+//paramecium:hotpath
 func (m *Machine) accessOn(cpu mmu.CPUID, ctx mmu.ContextID, va mmu.VAddr, buf []byte, kind mmu.Access) error {
 	for len(buf) > 0 {
 		pa, err := m.translateWithFaults(cpu, ctx, va, kind, 0)
@@ -327,6 +331,9 @@ func (m *Machine) accessOn(cpu mmu.CPUID, ctx mmu.ContextID, va mmu.VAddr, buf [
 		if n > len(buf) {
 			n = len(buf)
 		}
+		// Charge before touching DRAM: the cost model bills the copy
+		// attempt, so the movement below is always pre-paid.
+		m.Meter.ChargeN(clock.OpCopyWord, uint64((n+7)/8))
 		if kind == mmu.AccessWrite {
 			err = m.Phys.Write(pa, buf[:n])
 		} else {
@@ -335,7 +342,6 @@ func (m *Machine) accessOn(cpu mmu.CPUID, ctx mmu.ContextID, va mmu.VAddr, buf [
 		if err != nil {
 			return err
 		}
-		m.Meter.ChargeN(clock.OpCopyWord, uint64((n+7)/8))
 		buf = buf[n:]
 		va += mmu.VAddr(n)
 	}

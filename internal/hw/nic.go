@@ -113,6 +113,7 @@ func (n *NIC) Inject(frame []byte) error {
 	}
 	slot := n.freeSlots[0]
 	n.freeSlots = n.freeSlots[1:]
+	//paralint:ignore chargepath device DMA into the receive ring costs no CPU cycles by design
 	copy(n.slots[slot], frame)
 	n.rxLens[slot] = len(frame)
 	n.rxQueue = append(n.rxQueue, slot)
@@ -193,6 +194,7 @@ func (n *NIC) writeReg(reg int, val uint64) error {
 			return fmt.Errorf("hw: bad transmit descriptor slot=%d len=%d", slot, length)
 		}
 		frame := make([]byte, length)
+		//paralint:ignore chargepath device DMA out of the transmit ring costs no CPU cycles by design
 		copy(frame, n.slots[slot][:length])
 		sink := n.txSink
 		n.txCount++

@@ -118,7 +118,10 @@ func (s *Service) NewDomain() mmu.ContextID {
 
 // DestroyDomain tears down a protection domain: every page it owns is
 // unmapped and unreferenced, its fault handlers are dropped, its I/O
-// grants are released, and the MMU context is destroyed.
+// grants are released, and the MMU context is destroyed. Teardown
+// initiates from the boot CPU, where the nucleus runs; remote CPUs
+// whose TLBs still hold the domain's entries are charged shootdowns by
+// the MMU.
 func (s *Service) DestroyDomain(ctx mmu.ContextID) error {
 	s.mu.Lock()
 	var keys []pageKey
@@ -207,8 +210,15 @@ func (s *Service) ReleaseVA(ctx mmu.ContextID, base mmu.VAddr, npages int) {
 	a.free[npages] = append(a.free[npages], base)
 }
 
-// AllocPage allocates a fresh exclusive page at va in ctx.
+// AllocPage allocates a fresh exclusive page at va in ctx, initiating
+// any TLB shootdown from the boot CPU (see AllocPageOn).
 func (s *Service) AllocPage(ctx mmu.ContextID, va mmu.VAddr, perm mmu.Perm) error {
+	return s.AllocPageOn(mmu.BootCPU, ctx, va, perm)
+}
+
+// AllocPageOn is AllocPage initiated from the given CPU, so shootdown
+// cycles are charged from the true initiator's perspective.
+func (s *Service) AllocPageOn(initiator mmu.CPUID, ctx mmu.ContextID, va mmu.VAddr, perm mmu.Perm) error {
 	key := pageKey{ctx: ctx, vpn: va.VPN()}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -219,7 +229,7 @@ func (s *Service) AllocPage(ctx mmu.ContextID, va mmu.VAddr, perm mmu.Perm) erro
 	if err != nil {
 		return err
 	}
-	if err := s.machine.MMU.Map(ctx, va, frame, perm); err != nil {
+	if err := s.machine.MMU.MapOn(initiator, ctx, va, frame, perm); err != nil {
 		_, _ = s.machine.Phys.Unref(frame)
 		return err
 	}
@@ -238,9 +248,16 @@ func (s *Service) AllocRange(ctx mmu.ContextID, va mmu.VAddr, n int, perm mmu.Pe
 }
 
 // SharePage maps the page at fromVA in fromCtx into toCtx at toVA with
-// the given permissions, sharing the underlying frame. "Pages can be
+// the given permissions, sharing the underlying frame, initiating any
+// TLB shootdown from the boot CPU (see SharePageOn). "Pages can be
 // allocated exclusively or shared among different protection domains."
 func (s *Service) SharePage(fromCtx mmu.ContextID, fromVA mmu.VAddr, toCtx mmu.ContextID, toVA mmu.VAddr, perm mmu.Perm) error {
+	return s.SharePageOn(mmu.BootCPU, fromCtx, fromVA, toCtx, toVA, perm)
+}
+
+// SharePageOn is SharePage initiated from the given CPU, so shootdown
+// cycles are charged from the true initiator's perspective.
+func (s *Service) SharePageOn(initiator mmu.CPUID, fromCtx mmu.ContextID, fromVA mmu.VAddr, toCtx mmu.ContextID, toVA mmu.VAddr, perm mmu.Perm) error {
 	fromKey := pageKey{ctx: fromCtx, vpn: fromVA.VPN()}
 	toKey := pageKey{ctx: toCtx, vpn: toVA.VPN()}
 	s.mu.Lock()
@@ -255,7 +272,7 @@ func (s *Service) SharePage(fromCtx mmu.ContextID, fromVA mmu.VAddr, toCtx mmu.C
 	if err := s.machine.Phys.Ref(frame); err != nil {
 		return err
 	}
-	if err := s.machine.MMU.Map(toCtx, toVA, frame, perm); err != nil {
+	if err := s.machine.MMU.MapOn(initiator, toCtx, toVA, frame, perm); err != nil {
 		_, _ = s.machine.Phys.Unref(frame)
 		return err
 	}
@@ -263,8 +280,15 @@ func (s *Service) SharePage(fromCtx mmu.ContextID, fromVA mmu.VAddr, toCtx mmu.C
 	return nil
 }
 
-// FreePage unmaps va from ctx and drops the frame reference.
+// FreePage unmaps va from ctx and drops the frame reference, initiating
+// any TLB shootdown from the boot CPU (see FreePageOn).
 func (s *Service) FreePage(ctx mmu.ContextID, va mmu.VAddr) error {
+	return s.FreePageOn(mmu.BootCPU, ctx, va)
+}
+
+// FreePageOn is FreePage initiated from the given CPU, so shootdown
+// cycles are charged from the true initiator's perspective.
+func (s *Service) FreePageOn(initiator mmu.CPUID, ctx mmu.ContextID, va mmu.VAddr) error {
 	key := pageKey{ctx: ctx, vpn: va.VPN()}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -274,15 +298,22 @@ func (s *Service) FreePage(ctx mmu.ContextID, va mmu.VAddr) error {
 	}
 	delete(s.pages, key)
 	delete(s.handlers, key)
-	if err := s.machine.MMU.Unmap(ctx, va); err != nil {
+	if err := s.machine.MMU.UnmapOn(initiator, ctx, va); err != nil {
 		return err
 	}
 	_, err := s.machine.Phys.Unref(frame)
 	return err
 }
 
-// Protect changes the permissions of a managed page.
+// Protect changes the permissions of a managed page, initiating any TLB
+// shootdown from the boot CPU (see ProtectOn).
 func (s *Service) Protect(ctx mmu.ContextID, va mmu.VAddr, perm mmu.Perm) error {
+	return s.ProtectOn(mmu.BootCPU, ctx, va, perm)
+}
+
+// ProtectOn is Protect initiated from the given CPU, so shootdown
+// cycles are charged from the true initiator's perspective.
+func (s *Service) ProtectOn(initiator mmu.CPUID, ctx mmu.ContextID, va mmu.VAddr, perm mmu.Perm) error {
 	key := pageKey{ctx: ctx, vpn: va.VPN()}
 	s.mu.Lock()
 	_, ok := s.pages[key]
@@ -290,7 +321,7 @@ func (s *Service) Protect(ctx mmu.ContextID, va mmu.VAddr, perm mmu.Perm) error 
 	if !ok {
 		return fmt.Errorf("%w: ctx %d va %#x", ErrNoPage, ctx, uint64(va))
 	}
-	return s.machine.MMU.Protect(ctx, va, perm)
+	return s.machine.MMU.ProtectOn(initiator, ctx, va, perm)
 }
 
 // Frame reports the frame backing a managed page.

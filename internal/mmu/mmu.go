@@ -297,9 +297,25 @@ func (m *MMU) NewContext() ContextID {
 }
 
 // DestroyContext removes a context, invalidating all of its TLB entries
-// on every CPU. Destroying the kernel context or a context that is
-// current on any CPU is an error.
+// on every CPU. The teardown initiates from the boot CPU (the nucleus'
+// memory service runs there); see DestroyContextFrom for the
+// initiator-aware form. Destroying the kernel context or a context that
+// is current on any CPU is an error.
 func (m *MMU) DestroyContext(id ContextID) error {
+	return m.DestroyContextFrom(BootCPU, id)
+}
+
+// DestroyContextFrom removes a context, invalidating all of its TLB
+// entries on every CPU. Each REMOTE CPU (one other than the initiator)
+// whose TLB actually held entries for the context costs one
+// inter-processor interrupt: OpTLBShootdown is charged once per such
+// CPU and recorded in its Shootdowns counter. The initiator invalidates
+// its own entries for free, and CPUs that never cached the context cost
+// nothing — on a uniprocessor teardown is therefore free, exactly as
+// before. Destroying the kernel context or a context that is current on
+// any CPU is an error.
+func (m *MMU) DestroyContextFrom(initiator CPUID, id ContextID) error {
+	m.cpu(initiator) // validate the initiator up front
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if id == KernelContext {
@@ -324,13 +340,20 @@ func (m *MMU) DestroyContext(id ContextID) error {
 	pt.mu.Lock()
 	pt.dead = true
 	clear(pt.entries)
+	var remote uint64
 	for i := range m.cpus {
 		c := &m.cpus[i]
 		c.mu.Lock()
-		c.tlb.invalidateContext(id)
+		if held := c.tlb.invalidateContext(id); held > 0 && CPUID(i) != initiator {
+			// One context-wide invalidation IPI per remote CPU that
+			// held entries, regardless of how many it held.
+			c.tlb.shootdowns++
+			remote++
+		}
 		c.mu.Unlock()
 	}
 	pt.mu.Unlock()
+	m.meter.ChargeN(clock.OpTLBShootdown, remote)
 	return nil
 }
 
@@ -413,13 +436,29 @@ func (m *MMU) CrossSwitchOn(cpu CPUID, to ContextID) error {
 	return nil
 }
 
-// Map installs a translation for the page containing va in context id.
+// Map installs a translation for the page containing va in context id,
+// initiating any shootdown from the boot CPU (the single-CPU
+// compatibility form; see MapOn).
 func (m *MMU) Map(id ContextID, va VAddr, frame uint64, perm Perm) error {
-	return m.MapTagged(id, va, frame, perm, nil)
+	return m.MapTaggedOn(BootCPU, id, va, frame, perm, nil)
 }
 
-// MapTagged is Map with an owner tag stored in the PTE.
+// MapOn is Map initiated from the given CPU: that CPU invalidates its
+// own stale TLB entry for free, and only other CPUs holding the entry
+// are charged a shootdown IPI.
+func (m *MMU) MapOn(initiator CPUID, id ContextID, va VAddr, frame uint64, perm Perm) error {
+	return m.MapTaggedOn(initiator, id, va, frame, perm, nil)
+}
+
+// MapTagged is Map with an owner tag stored in the PTE, initiating from
+// the boot CPU.
 func (m *MMU) MapTagged(id ContextID, va VAddr, frame uint64, perm Perm, tag any) error {
+	return m.MapTaggedOn(BootCPU, id, va, frame, perm, tag)
+}
+
+// MapTaggedOn is MapOn with an owner tag stored in the PTE.
+func (m *MMU) MapTaggedOn(initiator CPUID, id ContextID, va VAddr, frame uint64, perm Perm, tag any) error {
+	m.cpu(initiator) // validate the initiator up front
 	pt, ok := m.pageTableOf(id)
 	if !ok {
 		return ErrNoContext
@@ -430,12 +469,22 @@ func (m *MMU) MapTagged(id ContextID, va VAddr, frame uint64, perm Perm, tag any
 		return ErrNoContext
 	}
 	pt.entries[va.VPN()] = PTE{Frame: frame, Perm: perm, Valid: true, Tag: tag}
-	m.invalidateAll(BootCPU, id, va.VPN())
+	m.invalidateAll(initiator, id, va.VPN())
 	return nil
 }
 
-// Unmap removes the translation for the page containing va.
+// Unmap removes the translation for the page containing va, initiating
+// any shootdown from the boot CPU (the single-CPU compatibility form;
+// see UnmapOn).
 func (m *MMU) Unmap(id ContextID, va VAddr) error {
+	return m.UnmapOn(BootCPU, id, va)
+}
+
+// UnmapOn is Unmap initiated from the given CPU: that CPU invalidates
+// its own stale TLB entry for free, and only other CPUs holding the
+// entry are charged a shootdown IPI.
+func (m *MMU) UnmapOn(initiator CPUID, id ContextID, va VAddr) error {
+	m.cpu(initiator) // validate the initiator up front
 	pt, ok := m.pageTableOf(id)
 	if !ok {
 		return ErrNoContext
@@ -446,12 +495,22 @@ func (m *MMU) Unmap(id ContextID, va VAddr) error {
 		return ErrNoContext
 	}
 	delete(pt.entries, va.VPN())
-	m.invalidateAll(BootCPU, id, va.VPN())
+	m.invalidateAll(initiator, id, va.VPN())
 	return nil
 }
 
-// Protect changes the permissions of an existing mapping.
+// Protect changes the permissions of an existing mapping, initiating
+// any shootdown from the boot CPU (the single-CPU compatibility form;
+// see ProtectOn).
 func (m *MMU) Protect(id ContextID, va VAddr, perm Perm) error {
+	return m.ProtectOn(BootCPU, id, va, perm)
+}
+
+// ProtectOn is Protect initiated from the given CPU: that CPU
+// invalidates its own stale TLB entry for free, and only other CPUs
+// holding the entry are charged a shootdown IPI.
+func (m *MMU) ProtectOn(initiator CPUID, id ContextID, va VAddr, perm Perm) error {
+	m.cpu(initiator) // validate the initiator up front
 	pt, ok := m.pageTableOf(id)
 	if !ok {
 		return ErrNoContext
@@ -467,7 +526,7 @@ func (m *MMU) Protect(id ContextID, va VAddr, perm Perm) error {
 	}
 	pte.Perm = perm
 	pt.entries[va.VPN()] = pte
-	m.invalidateAll(BootCPU, id, va.VPN())
+	m.invalidateAll(initiator, id, va.VPN())
 	return nil
 }
 
@@ -481,9 +540,10 @@ func (m *MMU) Protect(id ContextID, va VAddr, perm Perm) error {
 // OpTLBShootdown is charged once per such CPU, and the receiving CPU's
 // Shootdowns counter records it. CPUs that never cached the page cost
 // nothing — the charge partitions exactly across the CPUs that did.
-// Map/Unmap/Protect initiate from the boot CPU (the nucleus' memory
-// service runs there); on a uniprocessor the remote set is always
-// empty, so single-CPU cost baselines are unchanged.
+// The *On entry points thread the true initiator through; the
+// non-suffixed compatibility forms initiate from the boot CPU. On a
+// uniprocessor the remote set is always empty, so single-CPU cost
+// baselines are unchanged.
 func (m *MMU) invalidateAll(initiator CPUID, id ContextID, vpn uint64) {
 	var remote uint64
 	for i := range m.cpus {
@@ -533,6 +593,8 @@ func (m *MMU) TranslateCurrent(va VAddr, access Access) (PAddr, error) {
 // only the CPU's own TLB, and a miss walks the context's page table
 // under that context's lock — translations in unrelated contexts, or
 // on distinct CPUs, never serialize on a global mutex.
+//
+//paramecium:hotpath
 func (m *MMU) TranslateOn(cpu CPUID, id ContextID, va VAddr, access Access) (PAddr, error) {
 	c := m.cpu(cpu)
 	pt, ok := m.pageTableOf(id)

@@ -83,12 +83,18 @@ func (t *tlb) invalidate(ctx ContextID, vpn uint64) {
 	delete(t.entries, tlbKey{ctx, vpn})
 }
 
-func (t *tlb) invalidateContext(ctx ContextID) {
+// invalidateContext removes every entry tagged with ctx and reports how
+// many were held, so context teardown can tell which CPUs actually need
+// an invalidation IPI.
+func (t *tlb) invalidateContext(ctx ContextID) int {
+	n := 0
 	for k := range t.entries {
 		if k.ctx == ctx {
 			delete(t.entries, k)
+			n++
 		}
 	}
+	return n
 }
 
 func (t *tlb) flush() {

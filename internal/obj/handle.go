@@ -83,12 +83,15 @@ func (h MethodHandle) Call(args ...any) ([]any, error) {
 // normally and their results appended to out afterwards. Either way
 // the returned slice is out plus exactly the method's results; treat
 // it like any append result — valid only until out's array is reused.
+//
+//paramecium:hotpath
 func (h MethodHandle) CallInto(out []any, args ...any) ([]any, error) {
 	if h.into == nil {
 		res, err := h.Call(args...)
 		if err != nil || len(out) == 0 {
 			return res, err
 		}
+		//paralint:ignore hotpathalloc compat path for bindings without BindInto; res is already their allocation
 		return append(out, res...), nil
 	}
 	if err := CheckArity(h.decl, args); err != nil {

@@ -109,11 +109,14 @@ func (t *frameTable) shard(token uint64) *frameShard {
 }
 
 // put registers fr under a fresh token and returns the token.
+//
+//paramecium:hotpath
 func (t *frameTable) put(fr *callFrame) uint64 {
 	token := t.next.Add(1)
 	s := t.shard(token)
 	s.mu.Lock()
 	if s.m == nil {
+		//paralint:ignore hotpathalloc one-time lazy shard initialization, amortized to zero per call
 		s.m = make(map[uint64]*callFrame)
 	}
 	s.m[token] = fr
@@ -386,6 +389,8 @@ func (p *Proxy) Calls() uint64 {
 // context fails them all with "target domain gone", and a failing
 // method fails only its own entry. The group-level error, if any, is
 // returned as well so Batch.Run can surface it.
+//
+//paramecium:hotpath
 func (p *Proxy) DispatchBatch(calls []obj.BatchCall) error {
 	if len(calls) == 0 {
 		return nil
@@ -573,6 +578,8 @@ func (e *entryIface) Resolve(method string) (obj.MethodHandle, error) {
 // same page. out, when non-nil, is the caller's result buffer,
 // threaded through the frame so the target's results land in it
 // without an allocation.
+//
+//paramecium:hotpath
 func (e *entryIface) fault(md *obj.MethodDecl, th obj.MethodHandle, args, out []any) ([]any, error) {
 	p := e.proxy
 	if p.closed.Load() {
@@ -621,6 +628,8 @@ func (e *entryIface) fault(md *obj.MethodDecl, th obj.MethodHandle, args, out []
 // same entry page dispatch independently, each finding its own frame
 // by the trap frame's token. A frame carrying a batch executes every
 // entry inside the one crossing (executeBatch).
+//
+//paramecium:hotpath
 func (e *entryIface) handleFault(f *hw.TrapFrame) bool {
 	p := e.proxy
 	// Entered before the closed-check so Close can quiesce: if closed
@@ -707,6 +716,8 @@ func (e *entryIface) handleFault(f *hw.TrapFrame) bool {
 // call would, plus the small per-entry decode cost — and switches
 // back once. A failing entry records its error and the rest still
 // run; only a dead target context fails the group as a whole.
+//
+//paramecium:hotpath
 func (p *Proxy) executeBatch(f *hw.TrapFrame, call *callFrame, mm *mmu.MMU, meter *clock.Meter) {
 	crossing := p.callerCtx != p.targetCtx
 	if crossing {

@@ -115,7 +115,22 @@ type Registry struct {
 	grants    map[GrantRef]*Grant
 	condemned map[mmu.ContextID]struct{}
 	nextSeg   uint64
+	// tombs lists revoked grants still held in the grants map so later
+	// presentations of their refs fail ErrRevoked rather than ErrNoGrant,
+	// oldest first. Retention is bounded: a tombstone is dropped when its
+	// segment is destroyed (the whole object is gone) or when the list
+	// exceeds maxTombs (the oldest is evicted). A dropped tombstone's ref
+	// reports ErrNoGrant — indistinguishable from a forged ref, the same
+	// degradation a real capability system accepts when it recycles
+	// revocation state.
+	tombs    []GrantRef
+	maxTombs int
 }
+
+// DefaultMaxTombstones bounds how many revoked-grant tombstones a
+// registry retains for better error reporting before evicting the
+// oldest.
+const DefaultMaxTombstones = 1024
 
 // NewRegistry builds a segment registry brokering over svc.
 func NewRegistry(svc *mem.Service) *Registry {
@@ -125,7 +140,37 @@ func NewRegistry(svc *mem.Service) *Registry {
 		segs:      make(map[SegmentID]*Segment),
 		grants:    make(map[GrantRef]*Grant),
 		condemned: make(map[mmu.ContextID]struct{}),
+		maxTombs:  DefaultMaxTombstones,
 	}
+}
+
+// SetMaxTombstones adjusts the tombstone retention cap. A cap of zero
+// retains nothing: revoked refs immediately report ErrNoGrant.
+func (r *Registry) SetMaxTombstones(n int) {
+	if n < 0 {
+		n = 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.maxTombs = n
+	r.evictTombsLocked()
+}
+
+// Tombstones reports how many revoked-grant tombstones the registry
+// currently retains.
+func (r *Registry) Tombstones() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.tombs)
+}
+
+// Grants reports the total number of grant records the registry holds:
+// live grants plus retained tombstones. Bounded churn keeps this from
+// growing monotonically.
+func (r *Registry) Grants() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.grants)
 }
 
 // Segment is N pages of refcounted shared frames owned by one
@@ -273,6 +318,10 @@ func (g *Grant) Rights() Rights { return g.rights }
 // Revoke withdraws the grant; see Registry.Revoke.
 func (g *Grant) Revoke() error { return g.reg.Revoke(g.ref) }
 
+// RevokeFrom withdraws the grant, initiating shootdowns from the given
+// CPU; see Registry.RevokeFrom.
+func (g *Grant) RevokeFrom(initiator mmu.CPUID) error { return g.reg.RevokeFrom(initiator, g.ref) }
+
 // Attach maps the granted segment into the grantee's MMU context and
 // returns the attachment. The mapping shares the segment's refcounted
 // frames — no byte is copied; the cost model charges the map machinery
@@ -334,8 +383,17 @@ func (s *Segment) Attach(ref GrantRef) (*Attachment, error) {
 
 // Revoke is Registry.Revoke scoped to this segment: a ref naming
 // another segment's grant is rejected with ErrNoGrant rather than
-// silently revoking a grant the caller never meant to touch.
+// silently revoking a grant the caller never meant to touch. Shootdowns
+// initiate from the boot CPU; see RevokeFrom.
 func (s *Segment) Revoke(ref GrantRef) error {
+	return s.RevokeFrom(mmu.BootCPU, ref)
+}
+
+// RevokeFrom is Revoke initiated from the given CPU: the unmap sweep
+// charges TLB shootdowns only for OTHER CPUs that still held the
+// grantee-side pages cached, exactly as if the revoking domain's thread
+// ran the unmaps on its own processor.
+func (s *Segment) RevokeFrom(initiator mmu.CPUID, ref GrantRef) error {
 	r := s.reg
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -346,7 +404,7 @@ func (s *Segment) Revoke(ref GrantRef) error {
 	if g.revoked {
 		return ErrRevoked
 	}
-	r.revokeLocked(g)
+	r.revokeLocked(initiator, g)
 	return nil
 }
 
@@ -376,8 +434,17 @@ func (r *Registry) CheckDeliverable(ref GrantRef, to mmu.ContextID) error {
 // page a remote CPU still held cached), its frames are unreferenced,
 // and the grant becomes a tombstone — later attaches and accesses fail
 // with ErrRevoked. Revoking an already-revoked grant reports
-// ErrRevoked; an unknown ref, ErrNoGrant.
+// ErrRevoked; an unknown ref, ErrNoGrant. Shootdowns initiate from the
+// boot CPU; see RevokeFrom.
 func (r *Registry) Revoke(ref GrantRef) error {
+	return r.RevokeFrom(mmu.BootCPU, ref)
+}
+
+// RevokeFrom is Revoke initiated from the given CPU: the unmap sweep
+// charges TLB shootdowns only for OTHER CPUs that still held the
+// grantee-side pages cached, exactly as if the revoking domain's thread
+// ran the unmaps on its own processor.
+func (r *Registry) RevokeFrom(initiator mmu.CPUID, ref GrantRef) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	g := r.grants[ref]
@@ -387,7 +454,7 @@ func (r *Registry) Revoke(ref GrantRef) error {
 	if g.revoked {
 		return ErrRevoked
 	}
-	r.revokeLocked(g)
+	r.revokeLocked(initiator, g)
 	return nil
 }
 
@@ -396,15 +463,16 @@ func (r *Registry) Revoke(ref GrantRef) error {
 // in-flight Attachment copy (which holds it shared) finishes against
 // the still-live mapping before the frames are released — the revoke
 // waits out at most one copy, never exposes a recycled frame.
-func (r *Registry) revokeLocked(g *Grant) {
+func (r *Registry) revokeLocked(initiator mmu.CPUID, g *Grant) {
 	g.accessMu.Lock()
 	if g.mapped {
 		for i := 0; i < g.seg.pages; i++ {
-			// FreePage unmaps (charging shootdowns for remotely cached
-			// pages) and drops the frame reference. Errors are ignored:
-			// during domain teardown the grantee context may already be
-			// partially gone, and the tombstone below is what matters.
-			_ = r.svc.FreePage(g.to, g.base+mmu.VAddr(i*mmu.PageSize))
+			// FreePageOn unmaps (charging shootdowns for pages other CPUs
+			// still held cached) and drops the frame reference. Errors are
+			// ignored: during domain teardown the grantee context may
+			// already be partially gone, and the tombstone below is what
+			// matters.
+			_ = r.svc.FreePageOn(initiator, g.to, g.base+mmu.VAddr(i*mmu.PageSize))
 		}
 		r.svc.ReleaseVA(g.to, g.base, g.seg.pages)
 	}
@@ -412,37 +480,84 @@ func (r *Registry) revokeLocked(g *Grant) {
 	g.revoked = true
 	g.accessMu.Unlock()
 	delete(g.seg.grants, g.ref)
+	r.tombLocked(g.ref)
+}
+
+// tombLocked records a fresh tombstone and evicts the oldest past the
+// retention cap. Caller holds r.mu.
+func (r *Registry) tombLocked(ref GrantRef) {
+	r.tombs = append(r.tombs, ref)
+	r.evictTombsLocked()
+}
+
+// evictTombsLocked drops the oldest tombstones until the retention cap
+// is respected. Caller holds r.mu.
+func (r *Registry) evictTombsLocked() {
+	for len(r.tombs) > r.maxTombs {
+		old := r.tombs[0]
+		r.tombs = r.tombs[1:]
+		// Only drop the record if it is still a tombstone (never a live
+		// reissued ref — refs are unique, but stay defensive).
+		if g, ok := r.grants[old]; ok && g.revoked {
+			delete(r.grants, old)
+		}
+	}
 }
 
 // Destroy revokes every grant of the segment (unmapping it from every
 // grantee, shootdown charges included), unmaps and unreferences the
-// owner's pages, and tombstones the segment.
+// owner's pages, and tombstones the segment. Shootdowns initiate from
+// the boot CPU; see DestroyFrom.
 func (s *Segment) Destroy() error {
+	return s.DestroyFrom(mmu.BootCPU)
+}
+
+// DestroyFrom is Destroy initiated from the given CPU: every unmap in
+// the teardown sweep charges TLB shootdowns only for OTHER CPUs that
+// still held the pages cached.
+func (s *Segment) DestroyFrom(initiator mmu.CPUID) error {
 	r := s.reg
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if s.destroyed {
 		return ErrDestroyed
 	}
-	r.destroyLocked(s)
+	r.destroyLocked(initiator, s)
 	return nil
 }
 
 // destroyLocked tears one segment down. Caller holds r.mu. The
 // segment's access lock excludes in-flight owner-side copies exactly
-// as revokeLocked excludes grantee-side ones.
-func (r *Registry) destroyLocked(s *Segment) {
+// as revokeLocked excludes grantee-side ones. The segment's retained
+// grant tombstones are swept with it: once the segment object is gone
+// its refs report ErrNoGrant, and the registry stops paying for them.
+func (r *Registry) destroyLocked(initiator mmu.CPUID, s *Segment) {
 	for _, g := range s.grants {
-		r.revokeLocked(g)
+		r.revokeLocked(initiator, g)
 	}
 	s.accessMu.Lock()
 	for i := 0; i < s.pages; i++ {
-		_ = r.svc.FreePage(s.owner, s.base+mmu.VAddr(i*mmu.PageSize))
+		_ = r.svc.FreePageOn(initiator, s.owner, s.base+mmu.VAddr(i*mmu.PageSize))
 	}
 	r.svc.ReleaseVA(s.owner, s.base, s.pages)
 	s.destroyed = true
 	s.accessMu.Unlock()
 	delete(r.segs, s.id)
+	r.sweepTombsLocked(s)
+}
+
+// sweepTombsLocked reclaims every tombstone whose grant belonged to the
+// destroyed segment. Caller holds r.mu.
+func (r *Registry) sweepTombsLocked(s *Segment) {
+	kept := r.tombs[:0]
+	for _, ref := range r.tombs {
+		if g, ok := r.grants[ref]; ok && g.seg == s {
+			delete(r.grants, ref)
+			continue
+		}
+		kept = append(kept, ref)
+	}
+	r.tombs = kept
 }
 
 // CondemnDomain begins the domain's shared-memory teardown: the
@@ -455,13 +570,23 @@ func (r *Registry) destroyLocked(s *Segment) {
 // returns, the dying domain holds no segment mapping and never will
 // again. The kernel invokes it from the proxy factory's CloseTarget
 // sweep, so one DestroyDomain quiesces calls and mappings together.
+// Teardown shootdowns are initiated from the boot CPU; use
+// CondemnDomainFrom to charge them to the true initiator.
 func (r *Registry) CondemnDomain(ctx mmu.ContextID) {
+	r.CondemnDomainFrom(mmu.BootCPU, ctx)
+}
+
+// CondemnDomainFrom is CondemnDomain initiated from the given CPU, so
+// the teardown sweep's unmaps charge shootdowns from the perspective of
+// the CPU actually running the teardown. The kernel's DestroyDomain
+// path runs on the boot CPU and uses the compatibility form.
+func (r *Registry) CondemnDomainFrom(initiator mmu.CPUID, ctx mmu.ContextID) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.condemned[ctx] = struct{}{}
 	for _, g := range r.grants {
 		if g.to == ctx && !g.revoked {
-			r.revokeLocked(g)
+			r.revokeLocked(initiator, g)
 		}
 	}
 	var owned []*Segment
@@ -471,7 +596,7 @@ func (r *Registry) CondemnDomain(ctx mmu.ContextID) {
 		}
 	}
 	for _, s := range owned {
-		r.destroyLocked(s)
+		r.destroyLocked(initiator, s)
 	}
 }
 
@@ -510,6 +635,9 @@ func (s *Segment) Store(off int, buf []byte) error {
 	return s.access(off, buf, true)
 }
 
+// access is the owner-side bulk data plane.
+//
+//paramecium:hotpath
 func (s *Segment) access(off int, buf []byte, write bool) error {
 	// Data plane: the segment's own access lock, never the registry's —
 	// owner-side copies of unrelated segments run fully in parallel,
@@ -559,6 +687,9 @@ func (a *Attachment) Store(off int, buf []byte) error {
 	return a.access(off, buf, true)
 }
 
+// access is the grantee-side bulk data plane.
+//
+//paramecium:hotpath
 func (a *Attachment) access(off int, buf []byte, write bool) error {
 	g := a.g
 	// Data plane: the grant's own access lock, never the registry's —

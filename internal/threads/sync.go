@@ -110,6 +110,7 @@ func (c *Cond) Wait(t *Thread) error {
 	t.blockLocked(func() {
 		c.waiters = append(c.waiters, t)
 	})
+	//paralint:ignore lockorder blockLocked parks the thread and releases s.mu before Lock reacquires it
 	c.m.Lock(t)
 	return nil
 }

@@ -10,6 +10,7 @@ package api
 
 import (
 	"paramecium/internal/obj"
+	"paramecium/internal/ring"
 	"paramecium/internal/shm"
 )
 
@@ -170,4 +171,34 @@ var (
 	ErrNoGrant = shm.ErrNoGrant
 	// ErrSegmentReadOnly reports a store through an RO grant.
 	ErrSegmentReadOnly = shm.ErrReadOnly
+)
+
+// Coalescer queues single calls into a Batch and auto-flushes at a
+// size threshold or virtual-clock deadline derived from the measured
+// break-even curve, so callers issuing calls one at a time still get
+// vectored-crossing amortization. Create one with System.NewCoalescer
+// or Handle.Coalesce.
+type Coalescer = obj.Coalescer
+
+// RingProducer is the publishing endpoint of a streaming ring: Push
+// (or ProduceOffset/PushInPlace for zero-copy payloads), then Notify
+// once per burst to ring the consumer's doorbell. Single-goroutine.
+type RingProducer = ring.Producer
+
+// RingConsumer is the draining endpoint of a streaming ring: Pop, or
+// Peek/Release for in-place payload consumption. Single-goroutine.
+type RingConsumer = ring.Consumer
+
+// Streaming-ring errors.
+var (
+	// ErrRingFull reports a push the consumer hasn't made room for.
+	ErrRingFull = ring.ErrFull
+	// ErrRingEmpty reports a pop with no published records.
+	ErrRingEmpty = ring.ErrEmpty
+	// ErrRingHangup reports that the ring's peer is gone: the grant
+	// backing the ring was revoked — by Producer.Hangup or by domain
+	// teardown. Distinct from ErrNoGrant (a forged capability).
+	ErrRingHangup = ring.ErrHangup
+	// ErrRingRecordSize reports a record larger than the ring's slots.
+	ErrRingRecordSize = ring.ErrRecordSize
 )

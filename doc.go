@@ -23,7 +23,9 @@
 // (hw, mmu, clock), the object architecture (obj), the name space
 // (names), the nucleus services wired together by core, the thread
 // package with proto-thread pop-up threads (threads), cross-domain
-// proxies (proxy), the PVM bytecode with its SFI rewriter (sandbox),
+// proxies (proxy), shared-memory segments and the streaming ring
+// protocol over them (shm, ring — see Domain.NewRing and
+// Handle.Coalesce), the PVM bytecode with its SFI rewriter (sandbox),
 // drivers and a protocol stack (drivers, netstack), a virtual-memory
 // extension (vmm), the component repository (repoz), the
 // monolithic-kernel baseline (baseline), monitoring tools (trace) and
@@ -40,5 +42,7 @@
 // rules — annotate any new fast-path function the same way.
 //
 // See README.md for a package tour and a quickstart that uses only
-// the public API.
+// the public API, and ARCHITECTURE.md for the layer diagram, the full
+// virtual-cycle cost table, the ring wire format and the documented
+// lock ranks.
 package paramecium

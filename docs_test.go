@@ -1,0 +1,80 @@
+// Docs-freshness checks: ARCHITECTURE.md documents the full cost
+// model, so adding a clock.Op* constant without a row in its table —
+// or unlinking the file from the README — fails the build. CI runs
+// this as a dedicated step of the test job.
+package paramecium_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+)
+
+// clockOps parses internal/clock/clock.go and returns every exported
+// Op* constant, straight from the source of truth.
+func clockOps(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "internal/clock/clock.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parse internal/clock/clock.go: %v", err)
+	}
+	var ops []string
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				if strings.HasPrefix(name.Name, "Op") && name.IsExported() {
+					ops = append(ops, name.Name)
+				}
+			}
+		}
+	}
+	if len(ops) == 0 {
+		t.Fatal("found no Op* constants in internal/clock/clock.go")
+	}
+	return ops
+}
+
+// TestArchitectureCostTableFresh fails when ARCHITECTURE.md's cost
+// table omits any clock.Op* constant present in internal/clock: the
+// table is documented as exhaustive, and this is what keeps it so.
+func TestArchitectureCostTableFresh(t *testing.T) {
+	arch, err := os.ReadFile("ARCHITECTURE.md")
+	if err != nil {
+		t.Fatalf("ARCHITECTURE.md must exist at the repository root: %v", err)
+	}
+	var missing []string
+	for _, op := range clockOps(t) {
+		if !strings.Contains(string(arch), "`"+op+"`") {
+			missing = append(missing, op)
+		}
+	}
+	if len(missing) > 0 {
+		t.Fatalf("ARCHITECTURE.md cost table omits %v — add a row (cycles + who pays) for each new clock.Op*", missing)
+	}
+}
+
+// TestArchitectureLinked pins the docs topology: the README and the
+// root package doc both point readers at ARCHITECTURE.md.
+func TestArchitectureLinked(t *testing.T) {
+	for _, f := range []string{"README.md", "doc.go"} {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "ARCHITECTURE.md") {
+			t.Fatalf("%s does not link ARCHITECTURE.md", f)
+		}
+	}
+}

@@ -30,6 +30,7 @@ var chargePathPackages = []string{
 	"internal/mmu",
 	"internal/shm",
 	"internal/hw",
+	"internal/ring",
 }
 
 func inScopeFor(pass *Pass, suffixes []string) bool {

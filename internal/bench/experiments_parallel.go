@@ -217,5 +217,6 @@ func AllParallel() []Table {
 		P3CPUTopology(),
 		P5BatchSweep(),
 		P6BulkTransfer(),
+		P7RingStream(),
 	}
 }

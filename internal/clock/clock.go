@@ -84,6 +84,9 @@ const (
 	OpNameLookupHop           // one hop in a name-space lookup
 	OpBatchEntry              // decode one entry of a vectored cross-domain call
 	OpTLBShootdown            // one remote-CPU TLB invalidation IPI
+	OpRingPush                // publish one ring record (descriptor + tail bookkeeping)
+	OpRingPop                 // consume one ring record (descriptor + head bookkeeping)
+	OpDoorbell                // latch a ring doorbell for the consumer
 	opCount
 )
 
@@ -109,6 +112,9 @@ var opNames = [...]string{
 	OpNameLookupHop: "name-hop",
 	OpBatchEntry:    "batch-entry",
 	OpTLBShootdown:  "tlb-shootdown",
+	OpRingPush:      "ring-push",
+	OpRingPop:       "ring-pop",
+	OpDoorbell:      "doorbell",
 }
 
 // String returns the mnemonic for the operation.
@@ -167,6 +173,19 @@ func DefaultCosts() CostModel {
 	// the remote set is empty and unmap-heavy workloads pay nothing,
 	// which is why every pre-multiprocessor baseline is unchanged.
 	m.Costs[OpTLBShootdown] = 150
+	// Ring bookkeeping is deliberately cheap — a push or pop is a
+	// couple of word accesses plus index arithmetic on memory both
+	// sides already map, comparable to a procedure call. The control
+	// and descriptor words it moves are charged separately as ordinary
+	// OpCopyWord memory traffic by the side that touches them.
+	m.Costs[OpRingPush] = 2
+	m.Costs[OpRingPop] = 2
+	// A doorbell latch is a store to the control page plus the
+	// interrupt-like prod that makes the consumer look — far cheaper
+	// than a full crossing, and paid by the producer ONCE per notified
+	// burst, not per record. Its ratio to the vectored-call fixed cost
+	// (≈700 cycles) against burst size sets the streaming break-even.
+	m.Costs[OpDoorbell] = 40
 	return m
 }
 

@@ -1,0 +1,20 @@
+package core
+
+import (
+	"paramecium/internal/ring"
+)
+
+// NewRing creates a streaming data-plane ring produced by d and
+// consumed by the to domain: a single-producer/single-consumer record
+// ring (see internal/ring) over a segment owned by d and granted
+// read-write to to, with the consumer side already attached.
+//
+// Teardown rides the existing sweeps: destroying d condemns the
+// segment it owns, destroying to revokes the consumer grant — either
+// way the surviving side observes ring.ErrHangup, the revoked-grant
+// tombstone read as end-of-stream. Nothing needs to track the ring
+// beyond the segment registry.
+func (d *Domain) NewRing(to *Domain, slots, slotBytes int) (*ring.Ring, error) {
+	k := d.kernel
+	return ring.New(k.Meter, k.Shm, d.Ctx, to.Ctx, slots, slotBytes)
+}

@@ -59,13 +59,25 @@ func (c *BatchCall) SetResult(res []any, err error) {
 func (c *BatchCall) Results() ([]any, error) { return c.res, c.err }
 
 // Batch is an ordered list of pre-resolved invocations executed
-// together by Run. Consecutive entries whose handles share a Batcher
-// (calls through the same cross-domain proxy) are carried across the
-// protection boundary in one crossing; everything else dispatches
-// individually. A batch is not a transaction: entries execute in
-// order, a failing entry records its error and the rest still run —
-// exactly the semantics of issuing the calls one by one, minus the
-// repeated crossings.
+// together by Run. Only maximal runs of CONSECUTIVE entries whose
+// handles share a Batcher (calls through the same cross-domain proxy)
+// are carried across the protection boundary in one crossing;
+// everything else dispatches individually. Entries are never
+// reordered — execution order is observable, so Run will not move an
+// entry past one with a different target to enlarge a group.
+//
+// The mixed-target pitfall follows directly: a batch alternating
+// between two proxies (A, B, A, B, …) forms groups of one and pays a
+// full crossing per entry — none of the 12x size-16 amortization —
+// while the same entries ordered A, A, …, B, B, … pay two crossings
+// total. Callers mixing targets should order entries deliberately,
+// grouping same-target calls, whenever inter-target ordering does not
+// matter to them.
+//
+// A batch is not a transaction: entries execute in order, a failing
+// entry records its error and the rest still run — exactly the
+// semantics of issuing the calls one by one, minus the repeated
+// crossings.
 //
 // A Batch is reusable: Reset keeps the entry array's capacity, so a
 // steady-state caller building same-sized batches allocates nothing

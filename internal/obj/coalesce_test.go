@@ -1,0 +1,152 @@
+package obj
+
+import (
+	"testing"
+
+	"paramecium/internal/clock"
+)
+
+// TestCoalescerSizeFlush: the size threshold flushes exactly at the
+// threshold, never earlier.
+func TestCoalescerSizeFlush(t *testing.T) {
+	iv, n := batchTestIface(t)
+	inc, err := iv.Resolve("inc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter := clock.NewMeter(clock.DefaultCosts())
+	c := NewCoalescer(meter, 4, 1<<40) // deadline effectively never
+	for i := 1; i <= 3; i++ {
+		if err := c.Submit(inc); err != nil {
+			t.Fatal(err)
+		}
+		if *n != 0 {
+			t.Fatalf("flushed after %d submits, want none before 4", i)
+		}
+	}
+	if err := c.Submit(inc); err != nil {
+		t.Fatal(err)
+	}
+	if *n != 4 || c.Len() != 0 {
+		t.Fatalf("after 4th submit: counter = %d, queued = %d; want 4, 0", *n, c.Len())
+	}
+}
+
+// TestCoalescerDeadlineFlush: deadline flushing is deterministic
+// under the virtual clock — a queued entry flushes at exactly
+// due = submit-time + delay, observed via Poll, and never before.
+func TestCoalescerDeadlineFlush(t *testing.T) {
+	iv, n := batchTestIface(t)
+	inc, err := iv.Resolve("inc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter := clock.NewMeter(clock.DefaultCosts())
+	meter.Clock.Advance(1000)
+	const delay = 500
+	c := NewCoalescer(meter, 100, delay)
+	if err := c.Submit(inc); err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(1000 + delay); c.Deadline() != want {
+		t.Fatalf("deadline = %d, want %d", c.Deadline(), want)
+	}
+	// One cycle short of the deadline: Poll must not flush.
+	meter.Clock.Advance(delay - 1)
+	if err := c.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if *n != 0 {
+		t.Fatal("flushed one cycle before the deadline")
+	}
+	// At the deadline: Poll flushes. Rerunning the test gives the
+	// same virtual timeline cycle for cycle.
+	meter.Clock.Advance(1)
+	if err := c.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if *n != 1 || c.Len() != 0 {
+		t.Fatalf("at deadline: counter = %d, queued = %d; want 1, 0", *n, c.Len())
+	}
+}
+
+// TestCoalescerDeadlineOnSubmit: a submit past the deadline flushes
+// without waiting for Poll.
+func TestCoalescerDeadlineOnSubmit(t *testing.T) {
+	iv, n := batchTestIface(t)
+	inc, _ := iv.Resolve("inc")
+	meter := clock.NewMeter(clock.DefaultCosts())
+	c := NewCoalescer(meter, 100, 500)
+	if err := c.Submit(inc); err != nil {
+		t.Fatal(err)
+	}
+	meter.Clock.Advance(500)
+	if err := c.Submit(inc); err != nil {
+		t.Fatal(err)
+	}
+	if *n != 2 {
+		t.Fatalf("counter = %d, want 2 (late submit flushes both)", *n)
+	}
+}
+
+// TestCoalescerDefaults: zero thresholds derive from the P5 curve —
+// size 16, delay = the model's fixed crossing cost.
+func TestCoalescerDefaults(t *testing.T) {
+	meter := clock.NewMeter(clock.DefaultCosts())
+	c := NewCoalescer(meter, 0, 0)
+	if c.Size() != DefaultCoalesceSize {
+		t.Fatalf("size = %d, want %d", c.Size(), DefaultCoalesceSize)
+	}
+	if want := CrossingCycles(&meter.Model); c.Delay() != want || want != 660 {
+		t.Fatalf("delay = %d, want CrossingCycles = %d (660 under defaults)", c.Delay(), want)
+	}
+}
+
+// TestCoalescerBuffersAndHook: SubmitInto results survive the flush
+// in caller-owned buffers; OnFlush sees per-entry outcomes before the
+// reset.
+func TestCoalescerBuffersAndHook(t *testing.T) {
+	iv, _ := batchTestIface(t)
+	inc, _ := iv.Resolve("inc")
+	fail, _ := iv.Resolve("fail")
+	meter := clock.NewMeter(clock.DefaultCosts())
+	c := NewCoalescer(meter, 2, 1<<40)
+
+	var flushedErrs int
+	c.OnFlush = func(b *Batch) {
+		for i := 0; i < b.Len(); i++ {
+			if _, err := b.Results(i); err != nil {
+				flushedErrs++
+			}
+		}
+	}
+	buf := make([]any, 0, 1)
+	if err := c.SubmitInto(inc, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(fail); err != nil {
+		t.Fatal(err)
+	}
+	if flushedErrs != 1 {
+		t.Fatalf("OnFlush saw %d per-entry errors, want 1", flushedErrs)
+	}
+	if got := buf[:1]; *(got[0].(*int)) != 1 {
+		t.Fatalf("caller buffer = %v, want the counter result 1", got[0])
+	}
+	if c.Len() != 0 {
+		t.Fatalf("queue not reset after flush: %d", c.Len())
+	}
+}
+
+// TestCoalescerFlushEmpty: flushing or polling an empty queue is a
+// no-op.
+func TestCoalescerFlushEmpty(t *testing.T) {
+	meter := clock.NewMeter(clock.DefaultCosts())
+	c := NewCoalescer(meter, 4, 100)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Poll(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -318,6 +318,15 @@ func (g *Grant) Rights() Rights { return g.rights }
 // Revoke withdraws the grant; see Registry.Revoke.
 func (g *Grant) Revoke() error { return g.reg.Revoke(g.ref) }
 
+// Revoked reports whether the grant has been withdrawn (including by a
+// CondemnDomain sweep of the grantee). The granting side polls this to
+// learn the grantee is gone — the ring protocol reads it as hangup.
+func (g *Grant) Revoked() bool {
+	g.accessMu.RLock()
+	defer g.accessMu.RUnlock()
+	return g.revoked
+}
+
 // RevokeFrom withdraws the grant, initiating shootdowns from the given
 // CPU; see Registry.RevokeFrom.
 func (g *Grant) RevokeFrom(initiator mmu.CPUID) error { return g.reg.RevokeFrom(initiator, g.ref) }

@@ -1,0 +1,204 @@
+// Runnable examples and tests for the streaming surface: rings
+// (Domain.NewRing) and the adaptive coalescer (Handle.Coalesce). Like
+// api_test.go, this file imports only the public paramecium and
+// paramecium/api packages.
+package paramecium_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"paramecium"
+	"paramecium/api"
+)
+
+// ExampleDomain_NewRing shows the streaming data plane: a producer
+// domain opens a ring to a consumer domain, installs the consumer's
+// drain method as the doorbell, pushes a burst of records and rings
+// the doorbell once — one vectored crossing wakes the consumer for
+// the whole burst. Hanging up revokes the underlying grant; the
+// consumer reads the tombstone as the distinct api.ErrRingHangup.
+func ExampleDomain_NewRing() {
+	sys, err := paramecium.Boot()
+	if err != nil {
+		panic(err)
+	}
+	producer := sys.NewDomain("producer")
+	consumer := sys.NewDomain("consumer")
+
+	// 8 slots of 64 bytes, owned by producer, granted to consumer.
+	r, err := producer.NewRing(consumer, 8, 64)
+	if err != nil {
+		panic(err)
+	}
+	prod, cons := r.Producer(), r.Consumer()
+
+	// The consumer exports a drain service: pop until empty.
+	var drained []string
+	var buf [64]byte
+	decl := api.MustInterfaceDecl("example.drain.v1",
+		api.MethodDecl{Name: "drain", NumIn: 0, NumOut: 0})
+	sink := sys.NewObject("drain")
+	bi, err := sink.AddInterface(decl, nil)
+	if err != nil {
+		panic(err)
+	}
+	bi.MustBindInto("drain", func(out []any, _ ...any) ([]any, error) {
+		for {
+			n, err := cons.Pop(buf[:])
+			if err != nil {
+				if errors.Is(err, api.ErrRingEmpty) {
+					return out, nil
+				}
+				return nil, err
+			}
+			drained = append(drained, string(buf[:n]))
+		}
+	})
+	if err := consumer.Register("/services/drain", sink); err != nil {
+		panic(err)
+	}
+	h, err := producer.Bind("/services/drain")
+	if err != nil {
+		panic(err)
+	}
+	drain, err := h.Resolve("example.drain.v1", "drain")
+	if err != nil {
+		panic(err)
+	}
+	prod.SetDoorbell(drain)
+
+	// Push a burst, notify once.
+	for i := 0; i < 5; i++ {
+		if err := prod.Push([]byte(fmt.Sprintf("record-%d", i))); err != nil {
+			panic(err)
+		}
+	}
+	if err := prod.Notify(); err != nil {
+		panic(err)
+	}
+	fmt.Println("drained:", drained)
+
+	if err := prod.Hangup(); err != nil {
+		panic(err)
+	}
+	_, err = cons.Pop(buf[:])
+	fmt.Println("hangup observed:", errors.Is(err, api.ErrRingHangup))
+	// Output:
+	// drained: [record-0 record-1 record-2 record-3 record-4]
+	// hangup observed: true
+}
+
+// ExampleHandle_Coalesce shows the adaptive coalescer: queued
+// invocations flush themselves at the size threshold or, for a
+// straggling partial batch, at a virtual-clock deadline one crossing's
+// worth of cycles after the first entry was queued — the caller never
+// picks flush points by hand.
+func ExampleHandle_Coalesce() {
+	sys, err := paramecium.Boot()
+	if err != nil {
+		panic(err)
+	}
+	server := sys.NewDomain("server")
+	app := sys.NewDomain("app")
+
+	total := 0
+	decl := api.MustInterfaceDecl("example.adder.v1",
+		api.MethodDecl{Name: "add", NumIn: 1, NumOut: 0})
+	adder := sys.NewObject("adder")
+	bi, err := adder.AddInterface(decl, nil)
+	if err != nil {
+		panic(err)
+	}
+	bi.MustBindInto("add", func(out []any, args ...any) ([]any, error) {
+		total += args[0].(int)
+		return out, nil
+	})
+	if err := server.Register("/services/adder", adder); err != nil {
+		panic(err)
+	}
+	h, err := app.Bind("/services/adder")
+	if err != nil {
+		panic(err)
+	}
+	add, err := h.Resolve("example.adder.v1", "add")
+	if err != nil {
+		panic(err)
+	}
+
+	c := h.Coalesce(3) // flush at 3 entries, or at the cycle deadline
+	_ = c.Submit(add, 1)
+	_ = c.Submit(add, 2)
+	fmt.Println("queued:", c.Len(), "— total:", total)
+	_ = c.Submit(add, 3) // reaches the size threshold: auto-flush
+	fmt.Println("after size flush:", c.Len(), "— total:", total)
+
+	_ = c.Submit(add, 10) // a straggler, below the threshold
+	// Unrelated work advances the virtual clock past the deadline...
+	if _, err := h.Invoke("example.adder.v1", "add", 0); err != nil {
+		panic(err)
+	}
+	_ = c.Poll() // ...and the next poll flushes the straggler.
+	fmt.Println("after deadline flush:", c.Len(), "— total:", total)
+	// Output:
+	// queued: 2 — total: 0
+	// after size flush: 0 — total: 6
+	// after deadline flush: 0 — total: 16
+}
+
+// TestRingTeardownOnDomainDestroy: ring teardown rides the existing
+// domain-teardown sweeps, and the surviving endpoint sees the distinct
+// api.ErrRingHangup — never a generic grant-lookup failure.
+func TestRingTeardownOnDomainDestroy(t *testing.T) {
+	// Consumer dies: the sweep revokes its grant, the producer's next
+	// push reads the tombstone.
+	sys, err := paramecium.Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	producer := sys.NewDomain("producer")
+	consumer := sys.NewDomain("consumer")
+	r, err := producer.NewRing(consumer, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := r.Producer()
+	if err := prod.Push([]byte("alive")); err != nil {
+		t.Fatalf("push before destroy: %v", err)
+	}
+	if err := consumer.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	err = prod.Push([]byte("dead"))
+	if !errors.Is(err, api.ErrRingHangup) {
+		t.Fatalf("push after consumer destroy = %v, want ErrRingHangup", err)
+	}
+	if errors.Is(err, api.ErrNoGrant) {
+		t.Fatalf("hangup leaked through as ErrNoGrant: %v", err)
+	}
+
+	// Producer dies: its segments are destroyed, the consumer's next
+	// pop reads the tombstone.
+	sys2, err := paramecium.Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	producer2 := sys2.NewDomain("producer")
+	consumer2 := sys2.NewDomain("consumer")
+	r2, err := producer2.NewRing(consumer2, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod2, cons2 := r2.Producer(), r2.Consumer()
+	if err := prod2.Push([]byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	if err := producer2.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	var buf [64]byte
+	if _, err := cons2.Pop(buf[:]); !errors.Is(err, api.ErrRingHangup) {
+		t.Fatalf("pop after producer destroy = %v, want ErrRingHangup", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"paramecium/internal/hw"
 	"paramecium/internal/mmu"
 	"paramecium/internal/obj"
+	"paramecium/internal/ring"
 	"paramecium/internal/shm"
 )
 
@@ -130,7 +131,7 @@ func (s *System) Bind(path string) (*Handle, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Handle{path: path, inst: inst}, nil
+	return &Handle{s: s, path: path, inst: inst}, nil
 }
 
 // Batch is an ordered list of pre-resolved invocations executed
@@ -150,6 +151,16 @@ func NewBatch(n int) *Batch { return api.NewBatch(n) }
 // program's call site; routing is carried by each entry's resolved
 // handle — see Domain.CallBatch.
 func (s *System) CallBatch(b *Batch) error { return s.k.CallBatch(b) }
+
+// NewCoalescer builds a coalescer over the system's virtual clock:
+// calls Submitted to it queue into a batch that flushes automatically
+// at the size threshold or after a queued call has aged delay virtual
+// cycles. size <= 0 selects the measured default (16); delay == 0
+// derives the deadline from the cost model's fixed crossing cost.
+// See api.Coalescer and Handle.Coalesce.
+func (s *System) NewCoalescer(size int, delay uint64) *api.Coalescer {
+	return obj.NewCoalescer(s.k.Meter, size, delay)
+}
 
 // NewSegment creates a shared-memory segment of n pages owned by the
 // kernel protection domain: the zero-copy bulk data plane. Grant it to
@@ -182,7 +193,7 @@ func (s *System) Interpose(path string, build func(target api.Instance) (api.Ins
 	if err != nil {
 		return nil, err
 	}
-	return &Handle{path: path, inst: agent}, nil
+	return &Handle{s: s, path: path, inst: agent}, nil
 }
 
 // Unwrap undoes an interposition at path, restoring the wrapped
@@ -232,7 +243,7 @@ func (d *Domain) Bind(path string) (*Handle, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Handle{path: path, inst: inst}, nil
+	return &Handle{s: d.s, path: path, inst: inst}, nil
 }
 
 // CallBatch executes a batch of pre-resolved invocations: consecutive
@@ -252,6 +263,21 @@ func (d *Domain) NewSegment(pages int) (*Segment, error) {
 		return nil, err
 	}
 	return &Segment{s: d.s, seg: seg}, nil
+}
+
+// NewRing creates a streaming ring produced by this domain and
+// consumed by the to domain: a single-producer/single-consumer record
+// ring over a shared segment, with one doorbell notify waking the
+// consumer for a whole burst of records. Use it when the workload is
+// a sustained stream rather than individual transfers — the ring
+// amortizes the notification the way a Segment amortizes the payload
+// and a Batch amortizes the call count. See Ring.
+func (d *Domain) NewRing(to *Domain, slots, slotBytes int) (*Ring, error) {
+	r, err := d.d.NewRing(to.d, slots, slotBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &Ring{r: r}, nil
 }
 
 // Destroy tears the domain down, closing its proxies, revoking its
@@ -322,10 +348,58 @@ func (sg *Segment) Store(off int, p []byte) error { return sg.seg.Store(off, p) 
 // Load copies from the segment at off into p (owner-side access).
 func (sg *Segment) Load(off int, p []byte) error { return sg.seg.Load(off, p) }
 
+// Ring is a streaming data-plane ring between two protection domains:
+// single-producer/single-consumer record slots over a shared segment,
+// control and descriptor words in the segment's first pages, one
+// doorbell notify per burst. Created with Domain.NewRing; the segment
+// is owned by the producing domain and granted read-write to the
+// consuming one.
+//
+// Steady-state cost per record is a few cycles of bookkeeping plus
+// the doorbell crossing divided by the burst size — at burst 64,
+// under half the cost of a per-transfer segment share+notify. Records
+// can be pushed by copy (Push/Pop) or produced and consumed in place
+// through the mapping (ProduceOffset/PushInPlace, Peek/Release), in
+// which case the payload never moves at all.
+//
+// Teardown needs no extra bookkeeping: destroying the producer domain
+// destroys the segment, destroying the consumer domain revokes its
+// grant, and either way the surviving endpoint's next access returns
+// api.ErrRingHangup — the revoked-grant tombstone read as
+// end-of-stream. Producer.Hangup signals it deliberately.
+type Ring struct {
+	r *ring.Ring
+}
+
+// Producer returns the publishing endpoint, for use by the producing
+// domain's code. One goroutine at a time.
+func (r *Ring) Producer() *api.RingProducer { return r.r.Producer() }
+
+// Consumer returns the draining endpoint, for use by the consuming
+// domain's code. One goroutine at a time.
+func (r *Ring) Consumer() *api.RingConsumer { return r.r.Consumer() }
+
+// Slots reports the ring's record capacity.
+func (r *Ring) Slots() int { return r.r.Slots() }
+
+// SlotBytes reports the maximum record payload size.
+func (r *Ring) SlotBytes() int { return r.r.SlotBytes() }
+
+// Pages reports the backing segment's size in pages.
+func (r *Ring) Pages() int { return r.r.Pages() }
+
+// GrantRef returns the consumer-side grant capability.
+func (r *Ring) GrantRef() api.GrantRef { return r.r.GrantRef() }
+
+// Close destroys the backing segment; the consumer side observes
+// api.ErrRingHangup.
+func (r *Ring) Close() error { return r.r.Close() }
+
 // Handle is a typed handle on an instance bound from the name space.
 // It pins the binding made at Bind time: later interpositions or
 // overrides of the name affect future binds, not this handle.
 type Handle struct {
+	s    *System
 	path string
 	inst obj.Instance
 }
@@ -367,8 +441,22 @@ func (h *Handle) Resolve(iface, method string) (api.MethodHandle, error) {
 // for the common pattern of vectoring many calls through the methods
 // of one bound handle. Entries resolved from other handles may be
 // added too; grouping into single crossings follows each entry's own
-// route.
+// route — but note that only CONSECUTIVE entries sharing one proxy
+// vector in a single crossing: order same-target entries together or
+// an alternating mix pays a full crossing per entry.
 func (h *Handle) Batch(n int) *Batch { return api.NewBatch(n) }
+
+// Coalesce returns a coalescer wired to the system's virtual clock:
+// Submit single calls (typically methods resolved from this handle)
+// and they are queued and vectored automatically, flushing at the
+// size threshold or when a queued call has waited one crossing's
+// worth of virtual time — the break-even thresholds measured by the
+// P5 batch sweep. size <= 0 selects the default (16, the knee of the
+// curve). For explicit control of both thresholds use
+// System.NewCoalescer.
+func (h *Handle) Coalesce(size int) *api.Coalescer {
+	return h.s.NewCoalescer(size, 0)
+}
 
 // Invoke calls a method by name: the string-keyed compatibility path,
 // paying an interface and method lookup per call.

@@ -48,12 +48,34 @@ type MethodHandle = obj.MethodHandle
 type MethodInto = obj.MethodInto
 
 // Batch is an ordered list of pre-resolved invocations executed
-// together. Consecutive entries resolved through one cross-domain
-// proxy are vectored across the protection boundary in a single
-// crossing — one trap, one context-switch pair, N slot dispatches —
-// amortizing the fixed crossing cost over the group. Per-entry
-// results and errors are read back with Results.
+// together. In the default in-order mode, consecutive entries
+// resolved through one cross-domain proxy are vectored across the
+// protection boundary in a single crossing — one trap, one
+// context-switch pair, N slot dispatches — amortizing the fixed
+// crossing cost over the group; Batch.SetMode(BatchGrouped) instead
+// partitions a mixed-target batch by target and pays one crossing per
+// DISTINCT target, reordering execution across targets (never within
+// one). Per-entry results and errors are read back with Results, in
+// queue order in both modes.
 type Batch = obj.Batch
+
+// BatchMode selects how Batch.Run orders dispatch across targets:
+// strictly in queue order (BatchInOrder, the default) or partitioned
+// one-crossing-per-distinct-target (BatchGrouped). See Batch.
+type BatchMode = obj.BatchMode
+
+// Batch dispatch modes.
+const (
+	// BatchInOrder executes entries strictly in queue order; only
+	// consecutive same-proxy entries share a crossing, so an
+	// alternating mixed-target batch pays one crossing per entry.
+	BatchInOrder = obj.InOrder
+	// BatchGrouped partitions entries by target and pays one crossing
+	// per distinct target, preserving per-target order but reordering
+	// execution across targets. Opt in only when entries bound for
+	// different targets are independent of each other.
+	BatchGrouped = obj.Grouped
+)
 
 // BatchCall is one entry of a Batch.
 type BatchCall = obj.BatchCall

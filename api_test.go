@@ -382,6 +382,80 @@ func TestBatchAmortizesCrossings(t *testing.T) {
 	}
 }
 
+// TestBatchGroupedAmortizesMixedTargets: through the public API, a
+// batch alternating two server domains in BatchGrouped mode costs at
+// most a third of the same interleave in the default in-order mode —
+// one crossing per distinct target instead of one per entry — and
+// every result still lands in the caller's original entry slot, in
+// queue order.
+func TestBatchGroupedAmortizesMixedTargets(t *testing.T) {
+	sys, err := paramecium.Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decl := api.MustInterfaceDecl("mixed.v1",
+		api.MethodDecl{Name: "inc", NumIn: 0, NumOut: 1})
+	const targets = 2
+	client := sys.NewDomain("client")
+	incs := make([]api.MethodHandle, targets)
+	for i := 0; i < targets; i++ {
+		o := sys.NewObject(fmt.Sprintf("counter%d", i))
+		n := 0
+		bi, err := o.AddInterface(decl, &n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bi.MustBind("inc", func(...any) ([]any, error) { n++; return []any{n}, nil })
+		server := sys.NewDomain(fmt.Sprintf("server%d", i))
+		path := fmt.Sprintf("/s/mixed%d", i)
+		if err := server.Register(path, o); err != nil {
+			t.Fatal(err)
+		}
+		h, err := client.Bind(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if incs[i], err = h.Resolve("mixed.v1", "inc"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const size = 16
+	run := func(mode paramecium.BatchMode) (uint64, *paramecium.Batch) {
+		b := paramecium.NewBatch(size)
+		b.SetMode(mode)
+		for i := 0; i < size; i++ {
+			if err := b.Add(incs[i%targets]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		start := sys.Cycles()
+		if err := client.CallBatch(b); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Cycles() - start, b
+	}
+
+	inOrder, _ := run(paramecium.BatchInOrder)
+	grouped, b := run(paramecium.BatchGrouped)
+	if grouped*3 > inOrder {
+		t.Fatalf("grouped mixed batch cost %d cycles vs %d in-order: less than 3x amortization",
+			grouped, inOrder)
+	}
+	for i := 0; i < size; i++ {
+		res, err := b.Results(i)
+		if err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+		// Second round on each counter: entry i is its target's
+		// (i/targets)'th call, on top of the in-order round's 8.
+		if want := size/targets + i/targets + 1; res[0].(int) != want {
+			t.Fatalf("entry %d = %v, want %d (per-target order, scattered to its slot)",
+				i, res[0], want)
+		}
+	}
+}
+
 // TestBatchIntoDestroyedDomainFails: batches drain like single calls —
 // destroying the server domain fails every entry of a later batch
 // instead of reaching freed state.

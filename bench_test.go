@@ -310,6 +310,58 @@ func BenchmarkP5_BatchedCall(b *testing.B) {
 	}
 }
 
+// BenchmarkP8_MixedTargetBatch measures the mixed-target batch cliff
+// and the grouped-mode fix. Each iteration is ONE cross-domain
+// invocation, issued in batches of the given size whose entries
+// round-robin across the given number of distinct targets — A, B, A,
+// B — the worst case for the default in-order mode's consecutive-run
+// vectoring: every entry is a run of one, so every entry pays a full
+// crossing. mode=grouped partitions the batch by target and pays one
+// crossing per DISTINCT target instead; CI gates the grouped rows at
+// ≥3x the in-order cycles/op (benchgate -mingrouped) and at 0
+// allocs/op.
+func BenchmarkP8_MixedTargetBatch(b *testing.B) {
+	modes := []struct {
+		name string
+		mode obj.BatchMode
+	}{{"inorder", obj.InOrder}, {"grouped", obj.Grouped}}
+	for _, targets := range []int{2, 4} {
+		for _, m := range modes {
+			b.Run(fmt.Sprintf("targets=%d/size=16/mode=%s", targets, m.name), func(b *testing.B) {
+				const size = 16
+				handles, w := bench.MixedCounterHandles(targets)
+				batch := obj.NewBatch(size)
+				batch.SetMode(m.mode)
+				// Per-entry result buffers, reused across rounds, as in
+				// P5: the steady-state round allocates nothing in either
+				// mode, which the CI allocs gate holds these rows to.
+				bufs := make([][1]any, size)
+				watch := w.K.Meter.Clock.StartWatch()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; {
+					k := size
+					if rem := b.N - i; rem < k {
+						k = rem
+					}
+					batch.Reset()
+					for j := 0; j < k; j++ {
+						if err := batch.AddInto(handles[j%targets], bufs[j][:0]); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if err := batch.Run(); err != nil {
+						b.Fatal(err)
+					}
+					i += k
+				}
+				b.StopTimer()
+				reportCycles(b, watch.Elapsed())
+			})
+		}
+	}
+}
+
 // BenchmarkP6_BulkTransfer sweeps the bulk data plane: per op, one
 // payload of the given size is made visible to a consumer in another
 // protection domain. path=copy carries the payload through the

@@ -74,6 +74,9 @@ func main() {
 	minParallel := flag.Float64("minparallel", 0, "minimum serialized-to-parallel ns/op ratio (P0/P1); 0 disables the ratio gate")
 	pSerial := flag.String("pserial", "BenchmarkP0_SerializedProxyCall", "serialized benchmark for the ratio gate")
 	pParallel := flag.String("pparallel", "BenchmarkP1_ParallelProxyCall", "parallel benchmark for the ratio gate")
+	minGrouped := flag.Float64("mingrouped", 0, "minimum in-order-to-grouped cycles/op ratio on the mixed-target batch pair; 0 disables the grouped-dispatch gate")
+	gInOrder := flag.String("ginorder", "BenchmarkP8_MixedTargetBatch/targets=2/size=16/mode=inorder", "in-order benchmark for the grouped-dispatch gate")
+	gGrouped := flag.String("ggrouped", "BenchmarkP8_MixedTargetBatch/targets=2/size=16/mode=grouped", "grouped benchmark for the grouped-dispatch gate")
 	allocGate := flag.String("allocgate", "", "comma-separated benchmarks whose allocs/op must not exceed the baseline (empty: no allocs gate)")
 	flag.Parse()
 
@@ -153,6 +156,35 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Fprintf(os.Stderr, "benchgate: serialized/parallel ratio %.2f (>= %.2f required)\n", ratio, *minParallel)
+		}
+	}
+
+	// The grouped-dispatch ratio gate. Unlike the P0/P1 ratio this one
+	// compares cycles/op — the deterministic virtual-cycle metric — so
+	// it holds on any runner shape, GOMAXPROCS=1 included: an
+	// alternating mixed-target batch pays one crossing per entry in
+	// order-preserving mode, and grouped dispatch must keep paying only
+	// one per distinct target. If the ratio collapses, grouped mode has
+	// stopped partitioning (or in-order dispatch got charged less than
+	// a crossing per entry — either way the vectoring contract broke).
+	// Gated against the current run alone, no baseline needed.
+	if *minGrouped > 0 {
+		gi, gg := report.Benchmarks[*gInOrder], report.Benchmarks[*gGrouped]
+		switch {
+		case gi == nil || gg == nil:
+			fmt.Fprintf(os.Stderr, "FAIL: grouped-dispatch gate needs both %s and %s in the run\n", *gInOrder, *gGrouped)
+			os.Exit(1)
+		case gi.CyclesPerOp <= 0 || gg.CyclesPerOp <= 0:
+			fmt.Fprintf(os.Stderr, "FAIL: grouped-dispatch gate needs cycles/op for %s and %s\n", *gInOrder, *gGrouped)
+			os.Exit(1)
+		default:
+			ratio := gi.CyclesPerOp / gg.CyclesPerOp
+			if ratio < *minGrouped {
+				fmt.Fprintf(os.Stderr, "FAIL: in-order/grouped ratio %.2f < %.2f required (%s %.1f cycles/op vs %s %.1f cycles/op) — grouped dispatch no longer amortizes mixed-target crossings\n",
+					ratio, *minGrouped, *gInOrder, gi.CyclesPerOp, *gGrouped, gg.CyclesPerOp)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "benchgate: in-order/grouped ratio %.2f (>= %.2f required)\n", ratio, *minGrouped)
 		}
 	}
 

@@ -218,5 +218,6 @@ func AllParallel() []Table {
 		P5BatchSweep(),
 		P6BulkTransfer(),
 		P7RingStream(),
+		P8MixedTargetSweep(),
 	}
 }

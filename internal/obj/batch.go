@@ -58,34 +58,87 @@ func (c *BatchCall) SetResult(res []any, err error) {
 // Results returns the entry's results or error after Run.
 func (c *BatchCall) Results() ([]any, error) { return c.res, c.err }
 
+// BatchMode selects how Batch.Run orders dispatch across targets; see
+// the Batch documentation for the semantics of each mode.
+type BatchMode int
+
+const (
+	// InOrder (the default) executes entries strictly in the order
+	// they were added. Only maximal runs of CONSECUTIVE entries
+	// sharing a Batcher vector in one crossing; a batch alternating
+	// between two targets pays one crossing per entry.
+	InOrder BatchMode = iota
+	// Grouped partitions entries by target Batcher and pays ONE
+	// crossing per distinct target, preserving per-target order but
+	// reordering execution across targets. Opt in only when entries
+	// bound for different targets are independent.
+	Grouped
+)
+
+// String returns the mode's name.
+func (m BatchMode) String() string {
+	switch m {
+	case InOrder:
+		return "in-order"
+	case Grouped:
+		return "grouped"
+	default:
+		return fmt.Sprintf("BatchMode(%d)", int(m))
+	}
+}
+
 // Batch is an ordered list of pre-resolved invocations executed
-// together by Run. Only maximal runs of CONSECUTIVE entries whose
-// handles share a Batcher (calls through the same cross-domain proxy)
-// are carried across the protection boundary in one crossing;
-// everything else dispatches individually. Entries are never
-// reordered — execution order is observable, so Run will not move an
-// entry past one with a different target to enlarge a group.
+// together by Run. In the default InOrder mode, only maximal runs of
+// CONSECUTIVE entries whose handles share a Batcher (calls through
+// the same cross-domain proxy) are carried across the protection
+// boundary in one crossing; everything else dispatches individually.
+// Entries are never reordered — execution order is observable, so Run
+// will not move an entry past one with a different target to enlarge
+// a group.
 //
-// The mixed-target pitfall follows directly: a batch alternating
-// between two proxies (A, B, A, B, …) forms groups of one and pays a
-// full crossing per entry — none of the 12x size-16 amortization —
-// while the same entries ordered A, A, …, B, B, … pay two crossings
-// total. Callers mixing targets should order entries deliberately,
-// grouping same-target calls, whenever inter-target ordering does not
-// matter to them.
+// The mixed-target cost follows directly: in InOrder mode a batch
+// alternating between two proxies (A, B, A, B, …) forms groups of one
+// and pays a full crossing per entry — none of the 12x size-16
+// amortization. SetMode(Grouped) is the fix for callers whose entries
+// are independent across targets: Run partitions the batch by target,
+// dispatches one crossing per DISTINCT target (two for the
+// alternating batch above, however it is ordered), and scatters every
+// result back to its original entry slot. The trade is observable:
+// grouped execution preserves the relative order of entries sharing a
+// target (and of plain local entries among themselves) but reorders
+// execution ACROSS targets — partitions run in first-appearance
+// order, each to completion. Do not use Grouped when a later entry on
+// one target depends on an earlier entry on another having executed.
 //
-// A batch is not a transaction: entries execute in order, a failing
-// entry records its error and the rest still run — exactly the
-// semantics of issuing the calls one by one, minus the repeated
-// crossings.
+// A batch is not a transaction in either mode: a failing entry
+// records its error and the rest still run — exactly the semantics of
+// issuing the calls one by one, minus the repeated crossings.
 //
-// A Batch is reusable: Reset keeps the entry array's capacity, so a
-// steady-state caller building same-sized batches allocates nothing
-// for the batch machinery. It is not safe for concurrent use; build
-// and Run a batch from one goroutine (any number of goroutines may
-// each run their own).
+// A Batch is reusable: Reset keeps the entry array's capacity (and
+// the mode), so a steady-state caller building same-sized batches
+// allocates nothing for the batch machinery — grouped partitioning
+// included, whose scratch state is retained the same way. It is not
+// safe for concurrent use; build and Run a batch from one goroutine
+// (any number of goroutines may each run their own).
 type Batch struct {
 	calls []BatchCall
+	mode  BatchMode
+
+	// Grouped-mode scratch, retained across runs so steady-state
+	// grouped dispatch allocates nothing. tidx assigns each entry a
+	// partition; targets holds the distinct batchers in
+	// first-appearance order (nil marks the local partition); scratch
+	// is the partition-ordered entry copy handed to each Batcher and
+	// perm maps each scratch position back to the caller's original
+	// entry index for the result scatter.
+	tidx    []int
+	targets []Batcher
+	scratch []BatchCall
+	perm    []int
+
+	// crossings counts the Batcher group dispatches the last Run
+	// paid; see Crossings.
+	crossings int
 }
 
 // NewBatch returns an empty batch with room for n entries.
@@ -118,6 +171,23 @@ func (b *Batch) AddInto(h MethodHandle, out []any, args ...any) error {
 	return nil
 }
 
+// SetMode selects the dispatch mode of future Runs. The default is
+// InOrder; Grouped opts in to one-crossing-per-distinct-target
+// dispatch with its cross-target reordering — see Batch. The mode
+// survives Reset, like the entry array's capacity.
+func (b *Batch) SetMode(m BatchMode) { b.mode = m }
+
+// Mode reports the batch's dispatch mode.
+func (b *Batch) Mode() BatchMode { return b.mode }
+
+// Crossings reports how many Batcher group dispatches the last Run
+// paid. For entries resolved through cross-domain proxies every group
+// dispatch is one protection crossing, so this is the crossing bill
+// of the run: len(batch) in the worst in-order mixed case, the number
+// of distinct targets in grouped mode. Entries with no batcher (local
+// objects, interposers) dispatch without crossing and do not count.
+func (b *Batch) Crossings() int { return b.crossings }
+
 // Len reports the number of queued entries.
 func (b *Batch) Len() int { return len(b.calls) }
 
@@ -137,14 +207,24 @@ func (b *Batch) Reset() {
 	b.calls = b.calls[:0]
 }
 
-// Run executes the batch in order. Maximal runs of consecutive
-// entries sharing one Batcher are handed to it as a group — one
-// protection crossing for the whole run — while entries with no
-// batcher (local objects, interposers) dispatch directly. Per-entry
-// results and errors land in the entries (Results); Run returns the
-// first group-level dispatch error, if any, after attempting every
-// group.
+// Run executes the batch. In InOrder mode (the default) entries run
+// strictly in order: maximal runs of consecutive entries sharing one
+// Batcher are handed to it as a group — one protection crossing for
+// the whole run — while entries with no batcher (local objects,
+// interposers) dispatch directly. In Grouped mode entries are
+// partitioned by target first and each distinct target's partition
+// dispatches as one group — one crossing per target, whatever the
+// queueing order — with every result scattered back to its original
+// entry slot. Per-entry results and errors land in the entries
+// (Results); Run returns the first group-level dispatch error, if
+// any, after attempting every group.
+//
+//paramecium:hotpath
 func (b *Batch) Run() error {
+	b.crossings = 0
+	if b.mode == Grouped {
+		return b.runGrouped()
+	}
 	var firstErr error
 	calls := b.calls
 	for i := 0; i < len(calls); {
@@ -162,11 +242,107 @@ func (b *Batch) Run() error {
 		for j < len(calls) && sameBatcher(calls[j].h.batcher, c.h.batcher) {
 			j++
 		}
+		b.crossings++
 		if err := c.h.batcher.DispatchBatch(calls[i:j]); err != nil && firstErr == nil {
 			firstErr = err
 		}
 		i = j
 	}
+	return firstErr
+}
+
+// runGrouped is Run's Grouped-mode body: multi-target vectoring. It
+// assigns every entry to a partition (one per distinct Batcher, in
+// first-appearance order, plus one for batcher-less local entries),
+// gathers each partition into a contiguous scratch group preserving
+// the entries' relative order, dispatches each group in ONE crossing,
+// and scatters the results back to the caller's original entry slots.
+// All scratch state is retained across runs, so the steady-state
+// grouped path allocates nothing.
+//
+//paramecium:hotpath
+func (b *Batch) runGrouped() error {
+	calls := b.calls
+	b.targets = b.targets[:0]
+	b.tidx = b.tidx[:0]
+	localIdx := -1
+	for i := range calls {
+		bt := calls[i].h.batcher
+		idx := -1
+		if bt == nil {
+			if localIdx < 0 {
+				b.targets = append(b.targets, nil)
+				localIdx = len(b.targets) - 1
+			}
+			idx = localIdx
+		} else {
+			for j := range b.targets {
+				if sameBatcher(b.targets[j], bt) {
+					idx = j
+					break
+				}
+			}
+			if idx < 0 {
+				// First entry for this target — or a batcher of an
+				// uncomparable type, which sameBatcher never matches
+				// (not even against itself), so each of its entries
+				// forms its own partition of one: exactly the groups
+				// InOrder mode would have formed.
+				b.targets = append(b.targets, bt)
+				idx = len(b.targets) - 1
+			}
+		}
+		b.tidx = append(b.tidx, idx)
+	}
+
+	var firstErr error
+	b.scratch = b.scratch[:0]
+	b.perm = b.perm[:0]
+	for k := range b.targets {
+		if b.targets[k] == nil {
+			// The local partition: nothing to amortize, so entries
+			// dispatch directly, in their original relative order.
+			for i := range calls {
+				if b.tidx[i] != k {
+					continue
+				}
+				c := &calls[i]
+				if c.out != nil {
+					c.res, c.err = c.h.CallInto(c.out, c.args...)
+				} else {
+					c.res, c.err = c.h.Call(c.args...)
+				}
+			}
+			continue
+		}
+		start := len(b.scratch)
+		for i := range calls {
+			if b.tidx[i] == k {
+				b.scratch = append(b.scratch, calls[i])
+				b.perm = append(b.perm, i)
+			}
+		}
+		group := b.scratch[start:len(b.scratch):len(b.scratch)]
+		b.crossings++
+		if err := b.targets[k].DispatchBatch(group); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		// Scatter: each group entry's outcome lands back in the
+		// caller's original entry slot, so readers index the batch
+		// exactly as they queued it, whatever the partition order.
+		for s := start; s < len(b.scratch); s++ {
+			calls[b.perm[s]].res = b.scratch[s].res
+			calls[b.perm[s]].err = b.scratch[s].err
+		}
+	}
+	// Drop the scratch copies' value references so a reused batch
+	// does not pin caller data between runs (Reset only clears the
+	// entries themselves), and drop the target refs so scratch never
+	// outlives a proxy it grouped for.
+	clear(b.scratch)
+	b.scratch = b.scratch[:0]
+	clear(b.targets)
+	b.targets = b.targets[:0]
 	return firstErr
 }
 

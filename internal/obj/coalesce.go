@@ -53,8 +53,15 @@ type Coalescer struct {
 	delay uint64
 	due   uint64 // deadline for the oldest queued entry; valid when Len > 0
 
+	flushes   uint64
+	crossings uint64
+
 	// OnFlush, if set, observes the batch after each Run and before
-	// the reset — per-entry results and errors are still readable.
+	// the reset — per-entry results and errors are still readable,
+	// and Batch.Crossings reports what the flush just cost: a
+	// coalescer fed alternating targets in the default in-order mode
+	// reports one crossing per entry, the regression SetMode(Grouped)
+	// exists to fix.
 	OnFlush func(*Batch)
 }
 
@@ -77,6 +84,30 @@ func NewCoalescer(meter *clock.Meter, size int, delay uint64) *Coalescer {
 		delay: delay,
 	}
 }
+
+// SetMode selects the dispatch mode of the internal batch. The
+// default is InOrder, which preserves submission order exactly but
+// falls off the amortization cliff when submissions alternate
+// targets: every flush pays one crossing per entry. SetMode(Grouped)
+// is the opt-in fix — a flush then pays one crossing per DISTINCT
+// target, reordering execution across targets (per-target order
+// preserved); see Batch for the semantics. Crossings reports the
+// difference either way.
+func (c *Coalescer) SetMode(m BatchMode) { c.batch.SetMode(m) }
+
+// Mode reports the dispatch mode of the internal batch.
+func (c *Coalescer) Mode() BatchMode { return c.batch.Mode() }
+
+// Flushes reports how many non-empty flushes the coalescer has run.
+func (c *Coalescer) Flushes() uint64 { return c.flushes }
+
+// Crossings reports the cumulative protection crossings the
+// coalescer's flushes have paid (each flushed Batcher group is one).
+// Divide by Flushes to see the amortization actually achieved: a
+// coalescer fed mixed targets in the default in-order mode degrades
+// toward one crossing per submitted call — visible here — and
+// SetMode(Grouped) restores one crossing per distinct target.
+func (c *Coalescer) Crossings() uint64 { return c.crossings }
 
 // Size reports the flush threshold.
 func (c *Coalescer) Size() int { return c.size }
@@ -139,6 +170,8 @@ func (c *Coalescer) Flush() error {
 		return nil
 	}
 	err := c.batch.Run()
+	c.flushes++
+	c.crossings += uint64(c.batch.Crossings())
 	if c.OnFlush != nil {
 		c.OnFlush(c.batch)
 	}

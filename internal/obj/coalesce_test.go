@@ -150,3 +150,53 @@ func TestCoalescerFlushEmpty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCoalescerCrossingStats: a coalescer fed alternating targets
+// reports the mixed-target cliff through Flushes and Crossings — one
+// crossing per entry in the default in-order mode — and OnFlush can
+// read the same number per flush from Batch.Crossings. SetMode(Grouped)
+// drops it to one crossing per distinct target.
+func TestCoalescerCrossingStats(t *testing.T) {
+	_, hs := groupedFixture(2)
+	meter := clock.NewMeter(clock.DefaultCosts())
+	c := NewCoalescer(meter, 4, 1<<40)
+
+	var perFlush []int
+	c.OnFlush = func(b *Batch) { perFlush = append(perFlush, b.Crossings()) }
+
+	// Two alternating-target flushes in the default mode: every entry
+	// is a run of one, so each flush of 4 pays 4 crossings.
+	for i := 0; i < 8; i++ {
+		if err := c.Submit(hs[i%2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Flushes() != 2 || c.Crossings() != 8 {
+		t.Fatalf("in-order: flushes = %d crossings = %d, want 2 and 8 (the cliff)",
+			c.Flushes(), c.Crossings())
+	}
+
+	// Grouped: the same feed pays one crossing per distinct target.
+	c.SetMode(Grouped)
+	if c.Mode() != Grouped {
+		t.Fatalf("mode = %v, want %v", c.Mode(), Grouped)
+	}
+	for i := 0; i < 8; i++ {
+		if err := c.Submit(hs[i%2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Flushes() != 4 || c.Crossings() != 12 {
+		t.Fatalf("grouped: flushes = %d crossings = %d, want 4 and 12 (2 per flush)",
+			c.Flushes(), c.Crossings())
+	}
+	want := []int{4, 4, 2, 2}
+	if len(perFlush) != len(want) {
+		t.Fatalf("OnFlush ran %d times, want %d", len(perFlush), len(want))
+	}
+	for i := range want {
+		if perFlush[i] != want[i] {
+			t.Fatalf("flush %d paid %d crossings, want %d", i, perFlush[i], want[i])
+		}
+	}
+}

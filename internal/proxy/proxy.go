@@ -339,9 +339,10 @@ type Proxy struct {
 	targetCtx mmu.ContextID
 	target    obj.Instance
 
-	closed   atomic.Bool
-	calls    atomic.Uint64
-	inflight atomic.Int64 // fault handlers currently executing
+	closed    atomic.Bool
+	calls     atomic.Uint64
+	crossings atomic.Uint64
+	inflight  atomic.Int64 // fault handlers currently executing
 	// drainMu/drainCv let any number of Close callers wait for
 	// inflight to hit zero; the last handler out broadcasts.
 	drainMu sync.Mutex
@@ -376,6 +377,16 @@ func (p *Proxy) Iface(name string) (obj.Invoker, bool) {
 // (every entry of a vectored call counts).
 func (p *Proxy) Calls() uint64 {
 	return p.calls.Load()
+}
+
+// Crossings reports the number of protection crossings this proxy has
+// actually paid: a single call is one, a vectored group of N calls is
+// also one. Calls/Crossings is therefore the amortization achieved —
+// 1.0 for unbatched traffic, the batch size for perfectly vectored
+// traffic. The mixed-target P8 tests pin grouped dispatch to exactly
+// one crossing per distinct target with this counter.
+func (p *Proxy) Crossings() uint64 {
+	return p.crossings.Load()
 }
 
 // DispatchBatch implements obj.Batcher: it carries a group of calls
@@ -446,6 +457,7 @@ func (p *Proxy) DispatchBatch(calls []obj.BatchCall) error {
 		return err
 	}
 	p.calls.Add(uint64(len(calls)))
+	p.crossings.Add(1)
 	return fr.err
 }
 
@@ -617,6 +629,7 @@ func (e *entryIface) fault(md *obj.MethodDecl, th obj.MethodHandle, args, out []
 		return nil, fmt.Errorf("%w: %q.%s", ErrNoDelivery, e.target.Decl().Name, md.Name)
 	}
 	p.calls.Add(1)
+	p.crossings.Add(1)
 	return fr.res, fr.err
 }
 

@@ -141,8 +141,23 @@ func (s *System) Bind(path string) (*Handle, error) {
 // crossing cost the way active-message systems vector requests. Build
 // one with NewBatch (or Handle.Batch), Add resolved method handles,
 // then run it with Domain.CallBatch or System.CallBatch and read each
-// entry's results back with Results.
+// entry's results back with Results. A batch mixing targets keeps
+// that amortization by opting in to grouped dispatch — see BatchMode.
 type Batch = api.Batch
+
+// BatchMode selects how a batch orders dispatch across targets:
+// strictly in queue order (BatchInOrder, the default), or partitioned
+// by target with one crossing per distinct target (BatchGrouped).
+// Grouped mode preserves the relative order of entries sharing a
+// target but reorders execution across targets, so it is an explicit
+// opt-in via Batch.SetMode; results always land in queue order.
+type BatchMode = api.BatchMode
+
+// Batch dispatch modes; see BatchMode.
+const (
+	BatchInOrder = api.BatchInOrder
+	BatchGrouped = api.BatchGrouped
+)
 
 // NewBatch returns an empty, reusable batch with room for n entries.
 func NewBatch(n int) *Batch { return api.NewBatch(n) }
@@ -248,11 +263,13 @@ func (d *Domain) Bind(path string) (*Handle, error) {
 
 // CallBatch executes a batch of pre-resolved invocations: consecutive
 // entries resolved through one cross-domain proxy are vectored across
-// the protection boundary in a single crossing. Per-entry results and
-// errors are read back from the batch; CallBatch returns the first
-// group-level routing error, if any. Routing is carried by each
-// entry's resolved handle (which was bound to its domain at Resolve
-// time) — the receiver is the call site, not a routing input.
+// the protection boundary in a single crossing (one crossing per
+// distinct target, in any order, if the batch opted in to
+// BatchGrouped). Per-entry results and errors are read back from the
+// batch; CallBatch returns the first group-level routing error, if
+// any. Routing is carried by each entry's resolved handle (which was
+// bound to its domain at Resolve time) — the receiver is the call
+// site, not a routing input.
 func (d *Domain) CallBatch(b *Batch) error { return d.d.CallBatch(b) }
 
 // NewSegment creates a shared-memory segment of n pages owned by this
@@ -441,9 +458,11 @@ func (h *Handle) Resolve(iface, method string) (api.MethodHandle, error) {
 // for the common pattern of vectoring many calls through the methods
 // of one bound handle. Entries resolved from other handles may be
 // added too; grouping into single crossings follows each entry's own
-// route — but note that only CONSECUTIVE entries sharing one proxy
-// vector in a single crossing: order same-target entries together or
-// an alternating mix pays a full crossing per entry.
+// route. In the default in-order mode only CONSECUTIVE entries
+// sharing one proxy vector in a single crossing, so order same-target
+// entries together; a batch that genuinely interleaves independent
+// targets should opt in to SetMode(BatchGrouped), which pays one
+// crossing per distinct target regardless of entry order.
 func (h *Handle) Batch(n int) *Batch { return api.NewBatch(n) }
 
 // Coalesce returns a coalescer wired to the system's virtual clock:

@@ -362,6 +362,36 @@ func BenchmarkP8_MixedTargetBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkP9_TopologyScaling sweeps the NUMA topology under the two
+// steady-state workloads: vectored parallel invocation (per-worker
+// batches of 16 against per-worker counters, the P5 zero-allocation
+// round) and ring streaming (the P7 place path, one ring per CPU).
+// One worker per virtual CPU, each owning its whole working set, so
+// throughput scales with CPUs until the host runs out of parallelism.
+// CI holds the cpus=16/cpus=1 invoke ns/op ratio at a floor on
+// multi-core runners (benchgate -minscaling) and gates the cpus=16
+// invoke row at 0 allocs/op; a separate smoke step builds and runs the
+// cpus=256 rows. Like P0–P4 these rows report host time, not virtual
+// cycles: parallel interleaving makes the shared meter's total
+// nondeterministic.
+func BenchmarkP9_TopologyScaling(b *testing.B) {
+	for _, shape := range bench.TopologyShapes() {
+		ncpu := shape.CPUs()
+		b.Run(fmt.Sprintf("cpus=%d/work=invoke", ncpu), func(b *testing.B) {
+			h := bench.NewTopologyInvoke(shape.Nodes, shape.CPUsPerNode)
+			b.ReportAllocs()
+			b.ResetTimer()
+			h.Run(b.N)
+		})
+		b.Run(fmt.Sprintf("cpus=%d/work=stream", ncpu), func(b *testing.B) {
+			h := bench.NewTopologyStream(shape.Nodes, shape.CPUsPerNode)
+			b.ReportAllocs()
+			b.ResetTimer()
+			h.Run(b.N)
+		})
+	}
+}
+
 // BenchmarkP6_BulkTransfer sweeps the bulk data plane: per op, one
 // payload of the given size is made visible to a consumer in another
 // protection domain. path=copy carries the payload through the

@@ -74,6 +74,9 @@ func main() {
 	minParallel := flag.Float64("minparallel", 0, "minimum serialized-to-parallel ns/op ratio (P0/P1); 0 disables the ratio gate")
 	pSerial := flag.String("pserial", "BenchmarkP0_SerializedProxyCall", "serialized benchmark for the ratio gate")
 	pParallel := flag.String("pparallel", "BenchmarkP1_ParallelProxyCall", "parallel benchmark for the ratio gate")
+	minScaling := flag.Float64("minscaling", 0, "minimum single-CPU-to-scaled ns/op ratio on the topology-scaling invoke pair; 0 disables the scaling gate")
+	sBase := flag.String("sbase", "BenchmarkP9_TopologyScaling/cpus=1/work=invoke", "single-CPU benchmark for the scaling gate")
+	sScaled := flag.String("sscaled", "BenchmarkP9_TopologyScaling/cpus=16/work=invoke", "scaled-up benchmark for the scaling gate")
 	minGrouped := flag.Float64("mingrouped", 0, "minimum in-order-to-grouped cycles/op ratio on the mixed-target batch pair; 0 disables the grouped-dispatch gate")
 	gInOrder := flag.String("ginorder", "BenchmarkP8_MixedTargetBatch/targets=2/size=16/mode=inorder", "in-order benchmark for the grouped-dispatch gate")
 	gGrouped := flag.String("ggrouped", "BenchmarkP8_MixedTargetBatch/targets=2/size=16/mode=grouped", "grouped benchmark for the grouped-dispatch gate")
@@ -156,6 +159,41 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Fprintf(os.Stderr, "benchgate: serialized/parallel ratio %.2f (>= %.2f required)\n", ratio, *minParallel)
+		}
+	}
+
+	// The topology-scaling ratio gate. Same shape as the P0/P1 ratio
+	// gate: wall-clock scaling of the simulated machine is bounded by
+	// the host's parallelism, so absolute ns/op is noise but the RATIO
+	// of the same per-worker workload on a 1-CPU versus a 16-CPU
+	// machine is structural — if thread dispatch, per-CPU TLBs or the
+	// node-aware run queues reacquire a global serialization point, the
+	// 16-CPU run degrades to the 1-CPU run and the ratio collapses
+	// toward 1. Gated against the current run alone, no baseline
+	// needed; skipped below 4 processors, where the floor cannot be
+	// reached even in principle.
+	if *minScaling > 0 {
+		s1, s16 := report.Benchmarks[*sBase], report.Benchmarks[*sScaled]
+		switch {
+		case report.GoMaxProcs < 4:
+			// The ratio is capped by host parallelism: at GOMAXPROCS<4 a
+			// 2x floor is unreachable no matter how well the simulated
+			// machine scales. Skip, loudly.
+			fmt.Fprintf(os.Stderr, "note: scaling gate skipped at GOMAXPROCS=%d (needs >=4 processors to measure scaling)\n", report.GoMaxProcs)
+		case s1 == nil || s16 == nil:
+			fmt.Fprintf(os.Stderr, "FAIL: scaling gate needs both %s and %s in the run\n", *sBase, *sScaled)
+			os.Exit(1)
+		case s1.NsPerOp <= 0 || s16.NsPerOp <= 0:
+			fmt.Fprintf(os.Stderr, "FAIL: scaling gate needs ns/op for %s and %s\n", *sBase, *sScaled)
+			os.Exit(1)
+		default:
+			ratio := s1.NsPerOp / s16.NsPerOp
+			if ratio < *minScaling {
+				fmt.Fprintf(os.Stderr, "FAIL: cpus=1/cpus=16 scaling ratio %.2f < %.2f required (%s %.1f ns/op vs %s %.1f ns/op) — the topology no longer scales\n",
+					ratio, *minScaling, *sBase, s1.NsPerOp, *sScaled, s16.NsPerOp)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "benchgate: cpus=1/cpus=16 scaling ratio %.2f (>= %.2f required)\n", ratio, *minScaling)
 		}
 	}
 

@@ -23,7 +23,7 @@ func main() {
 		"also run the P-series parallel-throughput experiments (host wall-clock, not deterministic)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: benchtab [-parallel] [experiment ids...]\n")
-		fmt.Fprintf(os.Stderr, "experiments: T1 T2 T3 T4 T5 T6 F1 F2 F3 F4 F5 P1 P2 P3 P5 P6 P7 P8 (default: all T/F)\n")
+		fmt.Fprintf(os.Stderr, "experiments: T1 T2 T3 T4 T5 T6 F1 F2 F3 F4 F5 P1 P2 P3 P5 P6 P7 P8 P9 (default: all T/F)\n")
 	}
 	flag.Parse()
 
@@ -51,8 +51,9 @@ func main() {
 		"P6": bench.P6BulkTransfer,
 		"P7": bench.P7RingStream,
 		"P8": bench.P8MixedTargetSweep,
+		"P9": bench.P9ScalingSweep,
 	}
-	order := []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4", "F5", "P1", "P2", "P3", "P5", "P6", "P7", "P8"}
+	order := []string{"T1", "T2", "T3", "T4", "T5", "T6", "F1", "F2", "F3", "F4", "F5", "P1", "P2", "P3", "P5", "P6", "P7", "P8", "P9"}
 
 	for _, a := range flag.Args() {
 		if _, ok := runners[strings.ToUpper(a)]; !ok {

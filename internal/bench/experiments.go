@@ -735,7 +735,10 @@ func F5TrapCostSweep() Table {
 
 // measureProxyCall builds a two-domain echo service under the given
 // cost model and measures one cross-domain call that also touches a
-// page of domain memory (so TLB policy matters).
+// page of domain memory (so TLB policy matters). The server's touch
+// goes through the boot CPU deliberately: this single-CPU experiment
+// sweeps trap/switch/TLB costs, and one fixed TLB keeps the refill
+// pattern comparable across cost models.
 func measureProxyCall(costs clock.CostModel, flushOnSwitch bool) uint64 {
 	auth := cert.NewAuthority(0xB007)
 	k, err := core.Boot(core.Config{

@@ -219,5 +219,6 @@ func AllParallel() []Table {
 		P6BulkTransfer(),
 		P7RingStream(),
 		P8MixedTargetSweep(),
+		P9ScalingSweep(),
 	}
 }

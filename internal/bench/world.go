@@ -5,6 +5,7 @@ import (
 
 	"paramecium/internal/cert"
 	"paramecium/internal/core"
+	"paramecium/internal/hw"
 	"paramecium/internal/netstack"
 	"paramecium/internal/repoz"
 	"paramecium/internal/sandbox"
@@ -25,8 +26,26 @@ func NewWorld() *World { return NewWorldCPUs(1) }
 
 // NewWorldCPUs boots a world on a machine with ncpu virtual CPUs.
 func NewWorldCPUs(ncpu int) *World {
+	return newWorld(core.Config{CPUs: ncpu})
+}
+
+// NewWorldTopology boots a world on a NUMA machine of nodes ×
+// cpusPerNode CPUs with the uniform node-distance matrix, the
+// configuration the P9 scaling experiments sweep.
+func NewWorldTopology(nodes, cpusPerNode int) *World {
+	cfg := core.Config{}
+	cfg.Machine.Topology = hw.NewTopology(nodes, cpusPerNode)
+	// Big topologies run wide workloads (hundreds of domains and ring
+	// pairs at cpus=256); frames are cheap until touched, so size the
+	// frame table for the sweep rather than the default desktop.
+	cfg.Machine.PhysFrames = 32768
+	return newWorld(cfg)
+}
+
+func newWorld(cfg core.Config) *World {
 	auth := cert.NewAuthority(0xB007)
-	k, err := core.Boot(core.Config{AuthorityKey: auth.PublicKey(), CPUs: ncpu})
+	cfg.AuthorityKey = auth.PublicKey()
+	k, err := core.Boot(cfg)
 	if err != nil {
 		panic(fmt.Sprintf("bench: boot: %v", err))
 	}

@@ -87,6 +87,10 @@ const (
 	OpRingPush                // publish one ring record (descriptor + tail bookkeeping)
 	OpRingPop                 // consume one ring record (descriptor + head bookkeeping)
 	OpDoorbell                // latch a ring doorbell for the consumer
+	// OpRemoteFrameAccess is appended after every pre-existing Op so
+	// all earlier ordinals — and with them every committed baseline
+	// row — stay byte-identical.
+	OpRemoteFrameAccess // touch a frame homed on another NUMA node
 	opCount
 )
 
@@ -115,6 +119,8 @@ var opNames = [...]string{
 	OpRingPush:      "ring-push",
 	OpRingPop:       "ring-pop",
 	OpDoorbell:      "doorbell",
+
+	OpRemoteFrameAccess: "remote-frame-access",
 }
 
 // String returns the mnemonic for the operation.
@@ -186,6 +192,13 @@ func DefaultCosts() CostModel {
 	// burst, not per record. Its ratio to the vectored-call fixed cost
 	// (≈700 cycles) against burst size sets the streaming break-even.
 	m.Costs[OpDoorbell] = 40
+	// Touching a frame whose home NUMA node differs from the accessing
+	// CPU's node pays the interconnect hop: one unit per page-sized
+	// chunk of the access, scaled by the topology's node-distance
+	// entry. Paid by the side whose CPU issues the access (the toucher
+	// pays, exactly like OpCopyWord). The default single-node topology
+	// has no remote pairs, so every pre-topology baseline is unchanged.
+	m.Costs[OpRemoteFrameAccess] = 100
 	return m
 }
 

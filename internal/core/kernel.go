@@ -192,6 +192,13 @@ func Boot(cfg Config) (*Kernel, error) {
 	meter := machine.Meter
 	memSvc := mem.New(machine)
 	sched := threads.NewSchedulerCPUs(meter, machine.NumCPUs())
+	// Scheduler CPU k and machine CPU k are one identity: thread
+	// bodies run their simulated memory traffic through the machine on
+	// their dispatching CPU, and placement learns the NUMA shape.
+	sched.AttachExec(machine)
+	if topo := machine.Topology(); topo != nil {
+		sched.SetTopology(topo.Nodes, topo.CPUsPerNode)
+	}
 	events := event.New(machine, sched)
 	space := names.NewSpace(meter)
 	validator := cert.NewValidator(meter, cfg.AuthorityKey)

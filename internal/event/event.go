@@ -235,7 +235,7 @@ func (s *Service) deliver(b *binding, f *hw.TrapFrame) {
 		// delivery lock is NOT held by that continuation — only the
 		// inline portion (which by construction ends at the first
 		// block) runs under it.
-		_, inline := s.sched.PopUpProtoOn(int(b.cpu), b.name, func(t *threads.Thread) {
+		_, inline := s.sched.PopUpProtoOn(b.cpu, b.name, func(t *threads.Thread) {
 			b.handler(f, t)
 		})
 		restore()
@@ -257,13 +257,15 @@ func (s *Service) deliver(b *binding, f *hw.TrapFrame) {
 		// switch/restore pairs cannot interleave; on a multiprocessor
 		// scheduler, concurrent eager handlers bound to one CPU may
 		// interleave their courtesy register use — handlers needing
-		// exact context isolation use raw or proto dispatch (the
-		// scheduler/register unification that would close this is a
-		// roadmap item).
+		// exact context isolation use raw or proto dispatch. Scheduler
+		// CPU k and machine CPU k are now one identity (the thread's
+		// own Load/Store charge b.cpu's TLB), but eager bodies still
+		// share the context register by design: context isolation is
+		// what the raw/proto delivery locks are for.
 		s.deliveryMu[b.cpu].Lock()
 		s.retarget(b, f)
 		s.deliveryMu[b.cpu].Unlock()
-		s.sched.PopUpEagerOn(int(b.cpu), b.name, func(t *threads.Thread) {
+		s.sched.PopUpEagerOn(b.cpu, b.name, func(t *threads.Thread) {
 			restore := s.enterContext(b.cpu, b.ctx)
 			defer restore()
 			b.handler(f, t)

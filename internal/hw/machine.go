@@ -101,6 +101,10 @@ type Machine struct {
 	cpus  []*CPU
 	cpuRR atomic.Uint64
 
+	// topo is the validated NUMA shape, nil on the default single-node
+	// machine (in which case no access is ever charged as remote).
+	topo *Topology
+
 	// mu guards the handler tables, device list and IRQ state. The
 	// trap hot path (RaiseTrap) only ever read-locks it, so concurrent
 	// page faults dispatch in parallel.
@@ -127,6 +131,11 @@ type Config struct {
 	// CPUs is the virtual CPU count (0 => 1). It overrides MMU.CPUs:
 	// the machine and its MMU always agree on the topology.
 	CPUs int
+	// Topology is the optional NUMA shape. When set it determines the
+	// CPU count (Nodes × CPUsPerNode, overriding CPUs) and enables
+	// remote-frame-access charging; a malformed topology panics at
+	// construction. Nil is the classic flat machine.
+	Topology *Topology
 }
 
 // New builds a machine.
@@ -139,7 +148,17 @@ func New(cfg Config) *Machine {
 	if cfg.Costs != nil {
 		costs = *cfg.Costs
 	}
+	var topo *Topology
+	if cfg.Topology != nil {
+		var err error
+		if topo, err = cfg.Topology.validate(); err != nil {
+			panic(err)
+		}
+	}
 	ncpu := cfg.CPUs
+	if topo != nil {
+		ncpu = topo.NumCPUs()
+	}
 	if ncpu <= 0 {
 		ncpu = cfg.MMU.CPUs
 	}
@@ -153,6 +172,7 @@ func New(cfg Config) *Machine {
 		Meter:     meter,
 		MMU:       mmu.New(meter, mmuCfg),
 		Phys:      mmu.NewPhysMem(frames),
+		topo:      topo,
 		trapTable: make(map[TrapVector]TrapHandler),
 		iospaces:  make(map[string]*IORegion),
 	}
@@ -300,8 +320,9 @@ func (m *Machine) Store(ctx mmu.ContextID, va mmu.VAddr, buf []byte) error {
 	return m.accessOn(mmu.BootCPU, ctx, va, buf, mmu.AccessWrite)
 }
 
-// Touch performs a zero-length access of the given kind at va: it runs
-// the full translation (and fault) machinery without moving data.
+// Touch performs a zero-length access of the given kind at va on the
+// boot CPU: it runs the full translation (and fault) machinery without
+// moving data.
 func (m *Machine) Touch(ctx mmu.ContextID, va mmu.VAddr, access mmu.Access) error {
 	return m.TouchTagged(ctx, va, access, 0)
 }
@@ -314,6 +335,33 @@ func (m *Machine) Touch(ctx mmu.ContextID, va mmu.VAddr, access mmu.Access) erro
 // CPU.TouchTagged is the per-CPU form.
 func (m *Machine) TouchTagged(ctx mmu.ContextID, va mmu.VAddr, access mmu.Access, token uint64) error {
 	_, err := m.translateWithFaults(mmu.BootCPU, ctx, va, access, token)
+	return err
+}
+
+// LoadOn reads len(buf) bytes of simulated memory at va in context ctx
+// through the named CPU's MMU state: the initiator-threaded form of
+// Load, used wherever the accessing CPU is known (thread execution
+// contexts, lease holders).
+func (m *Machine) LoadOn(cpu mmu.CPUID, ctx mmu.ContextID, va mmu.VAddr, buf []byte) error {
+	return m.accessOn(cpu, ctx, va, buf, mmu.AccessRead)
+}
+
+// StoreOn writes buf to simulated memory at va in context ctx through
+// the named CPU's MMU state.
+func (m *Machine) StoreOn(cpu mmu.CPUID, ctx mmu.ContextID, va mmu.VAddr, buf []byte) error {
+	return m.accessOn(cpu, ctx, va, buf, mmu.AccessWrite)
+}
+
+// TouchOn performs a zero-length access of the given kind at va on the
+// named CPU: the full translation (and fault) machinery, no data.
+func (m *Machine) TouchOn(cpu mmu.CPUID, ctx mmu.ContextID, va mmu.VAddr, access mmu.Access) error {
+	return m.TouchTaggedOn(cpu, ctx, va, access, 0)
+}
+
+// TouchTaggedOn is TouchOn with a caller-supplied token delivered in
+// the trap frame of any resulting page fault; see Machine.TouchTagged.
+func (m *Machine) TouchTaggedOn(cpu mmu.CPUID, ctx mmu.ContextID, va mmu.VAddr, access mmu.Access, token uint64) error {
+	_, err := m.translateWithFaults(cpu, ctx, va, access, token)
 	return err
 }
 
@@ -334,6 +382,9 @@ func (m *Machine) accessOn(cpu mmu.CPUID, ctx mmu.ContextID, va mmu.VAddr, buf [
 		// Charge before touching DRAM: the cost model bills the copy
 		// attempt, so the movement below is always pre-paid.
 		m.Meter.ChargeN(clock.OpCopyWord, uint64((n+7)/8))
+		if m.topo != nil {
+			m.chargeRemote(cpu, pa)
+		}
 		if kind == mmu.AccessWrite {
 			err = m.Phys.Write(pa, buf[:n])
 		} else {

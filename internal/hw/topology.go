@@ -1,0 +1,111 @@
+package hw
+
+import (
+	"fmt"
+
+	"paramecium/internal/clock"
+	"paramecium/internal/mmu"
+)
+
+// Topology is the machine's NUMA shape: Nodes memory nodes with
+// CPUsPerNode CPUs each, laid out contiguously — CPU k lives on node
+// k / CPUsPerNode. Frames carry a home node (mmu.PhysMem.FrameNode,
+// tagged by the memory service's placement policies), and every access
+// whose initiating CPU's node differs from the touched frame's home
+// charges clock.OpRemoteFrameAccess scaled by the node distance.
+//
+// A nil Topology (the default) is a single node: no access is ever
+// remote and nothing new is charged, which is what keeps every
+// pre-topology baseline row byte-identical.
+type Topology struct {
+	Nodes       int
+	CPUsPerNode int
+	// Distance[a][b] is the OpRemoteFrameAccess multiplier charged per
+	// page-sized chunk when a CPU on node a touches a frame homed on
+	// node b. The diagonal must be zero (local access carries no remote
+	// charge). Nil means the uniform matrix: 0 on the diagonal, 1
+	// everywhere else.
+	Distance [][]uint32
+}
+
+// NewTopology builds a topology of nodes × cpusPerNode CPUs with the
+// uniform distance matrix (every remote hop costs one
+// OpRemoteFrameAccess unit per chunk).
+func NewTopology(nodes, cpusPerNode int) *Topology {
+	return &Topology{Nodes: nodes, CPUsPerNode: cpusPerNode}
+}
+
+// NumCPUs reports the topology's total CPU count.
+func (t *Topology) NumCPUs() int { return t.Nodes * t.CPUsPerNode }
+
+// NodeOf reports the node a CPU lives on. The contiguous layout is
+// part of the contract: schedulers use it to group same-node CPUs
+// without asking the machine.
+func (t *Topology) NodeOf(cpu mmu.CPUID) int32 {
+	return int32(int(cpu) / t.CPUsPerNode)
+}
+
+// validate checks shape and fills in the uniform distance matrix when
+// none was provided. It returns a copy; the caller's Topology is never
+// mutated.
+func (t *Topology) validate() (*Topology, error) {
+	if t.Nodes <= 0 || t.CPUsPerNode <= 0 {
+		return nil, fmt.Errorf("hw: topology needs positive nodes and cpus per node, got %d×%d", t.Nodes, t.CPUsPerNode)
+	}
+	out := &Topology{Nodes: t.Nodes, CPUsPerNode: t.CPUsPerNode}
+	if t.Distance == nil {
+		out.Distance = make([][]uint32, t.Nodes)
+		for a := range out.Distance {
+			out.Distance[a] = make([]uint32, t.Nodes)
+			for b := range out.Distance[a] {
+				if a != b {
+					out.Distance[a][b] = 1
+				}
+			}
+		}
+		return out, nil
+	}
+	if len(t.Distance) != t.Nodes {
+		return nil, fmt.Errorf("hw: distance matrix has %d rows for %d nodes", len(t.Distance), t.Nodes)
+	}
+	out.Distance = make([][]uint32, t.Nodes)
+	for a, row := range t.Distance {
+		if len(row) != t.Nodes {
+			return nil, fmt.Errorf("hw: distance row %d has %d entries for %d nodes", a, len(row), t.Nodes)
+		}
+		if row[a] != 0 {
+			return nil, fmt.Errorf("hw: distance diagonal [%d][%d] must be zero, got %d", a, a, row[a])
+		}
+		out.Distance[a] = append([]uint32(nil), row...)
+	}
+	return out, nil
+}
+
+// Topology reports the machine's NUMA shape, nil for the default
+// single-node machine.
+func (m *Machine) Topology() *Topology { return m.topo }
+
+// NodeOfCPU reports the NUMA node a CPU lives on (always 0 on a
+// single-node machine).
+func (m *Machine) NodeOfCPU(cpu mmu.CPUID) int32 {
+	if m.topo == nil {
+		return 0
+	}
+	return m.topo.NodeOf(cpu)
+}
+
+// chargeRemote charges the interconnect cost of one page-chunk access:
+// OpRemoteFrameAccess scaled by the node distance between the
+// initiating CPU's node and the touched frame's home. Untagged frames
+// (FrameNode == NoNode) and single-node machines charge nothing.
+//
+//paramecium:hotpath
+func (m *Machine) chargeRemote(cpu mmu.CPUID, pa mmu.PAddr) {
+	home := m.Phys.FrameNode(pa.Frame())
+	if home < 0 {
+		return
+	}
+	if d := m.topo.Distance[m.topo.NodeOf(cpu)][home]; d != 0 {
+		m.Meter.ChargeN(clock.OpRemoteFrameAccess, uint64(d))
+	}
+}

@@ -217,8 +217,34 @@ func (s *Service) AllocPage(ctx mmu.ContextID, va mmu.VAddr, perm mmu.Perm) erro
 }
 
 // AllocPageOn is AllocPage initiated from the given CPU, so shootdown
-// cycles are charged from the true initiator's perspective.
+// cycles are charged from the true initiator's perspective. On a NUMA
+// machine the fresh frame's home node follows first-touch policy: the
+// page is homed on the initiating CPU's node, so the allocator's own
+// accesses are local and everyone else's pay the node distance.
 func (s *Service) AllocPageOn(initiator mmu.CPUID, ctx mmu.ContextID, va mmu.VAddr, perm mmu.Perm) error {
+	node := int32(mmu.NoNode)
+	if s.machine.Topology() != nil {
+		node = s.machine.NodeOfCPU(initiator)
+	}
+	return s.allocPage(initiator, node, ctx, va, perm)
+}
+
+// AllocPageOnNode is AllocPage with an explicit home node: the frame
+// is homed on the named NUMA node regardless of who allocates it, the
+// policy for services that place producer/consumer buffers
+// deliberately. Node -1 (mmu.NoNode) leaves the frame untagged, so
+// no access to it is ever charged as remote. The map itself initiates
+// from the boot CPU, like AllocPage.
+func (s *Service) AllocPageOnNode(node int32, ctx mmu.ContextID, va mmu.VAddr, perm mmu.Perm) error {
+	if t := s.machine.Topology(); t != nil && (node < -1 || int(node) >= t.Nodes) {
+		return fmt.Errorf("mem: no NUMA node %d (machine has %d)", node, t.Nodes)
+	}
+	return s.allocPage(mmu.BootCPU, node, ctx, va, perm)
+}
+
+// allocPage is the shared allocation path: fresh frame, map from the
+// initiator, home-node tag.
+func (s *Service) allocPage(initiator mmu.CPUID, node int32, ctx mmu.ContextID, va mmu.VAddr, perm mmu.Perm) error {
 	key := pageKey{ctx: ctx, vpn: va.VPN()}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -232,6 +258,9 @@ func (s *Service) AllocPageOn(initiator mmu.CPUID, ctx mmu.ContextID, va mmu.VAd
 	if err := s.machine.MMU.MapOn(initiator, ctx, va, frame, perm); err != nil {
 		_, _ = s.machine.Phys.Unref(frame)
 		return err
+	}
+	if node != mmu.NoNode {
+		_ = s.machine.Phys.SetFrameNode(frame, node)
 	}
 	s.pages[key] = frame
 	return nil

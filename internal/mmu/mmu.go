@@ -167,6 +167,11 @@ type CPUID int
 // non-suffixed (single-CPU compatibility) method operates on.
 const BootCPU CPUID = 0
 
+// NoCPU is the sentinel for "no CPU": a thread that has never been
+// dispatched, or an identity slot that is deliberately empty. It is
+// never a valid index into per-CPU state.
+const NoCPU CPUID = -1
+
 // PTE is a page table entry.
 type PTE struct {
 	Frame uint64

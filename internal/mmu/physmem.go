@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrOutOfMemory is returned when no physical frames are free.
@@ -21,7 +22,16 @@ type PhysMem struct {
 	frames   [][]byte
 	free     []uint64
 	refcount []int // shared pages carry a reference count
+
+	// nodes is each frame's home NUMA node, NoNode when untagged.
+	// Atomic (not under mu) so the access hot path can consult a
+	// frame's home without taking the physical-memory lock.
+	nodes []atomic.Int32
 }
+
+// NoNode marks a frame with no home NUMA node: accesses to it are
+// never charged as remote, whatever the machine topology.
+const NoNode int32 = -1
 
 // NewPhysMem builds a physical memory of nframes frames.
 func NewPhysMem(nframes int) *PhysMem {
@@ -29,11 +39,13 @@ func NewPhysMem(nframes int) *PhysMem {
 		frames:   make([][]byte, nframes),
 		free:     make([]uint64, 0, nframes),
 		refcount: make([]int, nframes),
+		nodes:    make([]atomic.Int32, nframes),
 	}
 	// Push frames so that low frame numbers are handed out first,
 	// keeping experiment output stable across runs.
 	for i := nframes - 1; i >= 0; i-- {
 		p.free = append(p.free, uint64(i))
+		p.nodes[i].Store(NoNode)
 	}
 	return p
 }
@@ -64,7 +76,32 @@ func (p *PhysMem) AllocFrame() (uint64, error) {
 	p.free = p.free[:len(p.free)-1]
 	p.frames[f] = make([]byte, PageSize)
 	p.refcount[f] = 1
+	// A recycled frame must not inherit the previous owner's home
+	// node: it starts untagged until a placement policy claims it.
+	p.nodes[f].Store(NoNode)
 	return f, nil
+}
+
+// SetFrameNode tags a live frame with its home NUMA node (first-touch
+// or explicit placement). Tagging an out-of-range frame is an error;
+// re-tagging moves the home, which only placement policies should do.
+func (p *PhysMem) SetFrameNode(frame uint64, node int32) error {
+	if frame >= uint64(len(p.frames)) {
+		return fmt.Errorf("%w: %d", ErrBadFrame, frame)
+	}
+	p.nodes[frame].Store(node)
+	return nil
+}
+
+// FrameNode reports a frame's home NUMA node, NoNode if untagged or
+// out of range.
+//
+//paramecium:hotpath
+func (p *PhysMem) FrameNode(frame uint64) int32 {
+	if frame >= uint64(len(p.nodes)) {
+		return NoNode
+	}
+	return p.nodes[frame].Load()
 }
 
 // Ref increments the reference count of a live frame (page sharing).

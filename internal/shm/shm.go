@@ -644,7 +644,10 @@ func (s *Segment) Store(off int, buf []byte) error {
 	return s.access(off, buf, true)
 }
 
-// access is the owner-side bulk data plane.
+// access is the owner-side bulk data plane. Copies translate through
+// the boot CPU: the segment API carries no initiator, so the charge
+// lands on the shared boot TLB — an acknowledged single-CPU-era
+// choice; an initiator-carrying segment API is the topology follow-up.
 //
 //paramecium:hotpath
 func (s *Segment) access(off int, buf []byte, write bool) error {
@@ -696,7 +699,10 @@ func (a *Attachment) Store(off int, buf []byte) error {
 	return a.access(off, buf, true)
 }
 
-// access is the grantee-side bulk data plane.
+// access is the grantee-side bulk data plane. As on the owner side,
+// copies translate through the boot CPU: the attachment API carries no
+// initiator — an acknowledged single-CPU-era choice; an
+// initiator-carrying form is the topology follow-up.
 //
 //paramecium:hotpath
 func (a *Attachment) access(off int, buf []byte, write bool) error {

@@ -1,10 +1,12 @@
 package threads
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 
 	"paramecium/internal/clock"
+	"paramecium/internal/mmu"
 )
 
 // Scheduler multiplexes simulated threads over the machine's virtual
@@ -14,6 +16,30 @@ import (
 // per-CPU run queues with randomized work stealing, so pop-up threads
 // from concurrent interrupts genuinely run on distinct CPUs. It also
 // owns the sleep queue and charges all thread-related costs.
+//
+// Scheduler CPU k IS machine CPU k: the run-queue index, the
+// mmu.CPUID a thread reports through LastCPU, and the per-CPU TLB the
+// thread's Load/Store traffic charges (through the attached Exec
+// plane) are one identity. CPU affinity arguments are therefore typed
+// mmu.CPUID end to end, with mmu.NoCPU for "no affinity".
+//
+// Placement and steal order, in priority:
+//
+//  1. A thread with a CPU binding or a last-run CPU is queued on that
+//     CPU (pop-up threads stay on the CPU their event was bound to;
+//     re-readied threads keep their TLB-warm CPU).
+//  2. An unaffined thread with a node hint (Thread.Spawn records the
+//     spawner's node) rotates round-robin across the CPUs of that
+//     node — within-node first, so sibling spawns stay on one memory
+//     node and spill cross-node only through stealing.
+//  3. An unaffined thread with no hint rotates nodes round-robin and
+//     then CPUs within the chosen node (the flat global round-robin
+//     when no topology is attached).
+//
+// A thief empties its own queue, then steals half a victim's deque —
+// scanning same-node victims first (random start within the node) and
+// only then cross-node victims (random start), so rebalancing prefers
+// migrations that keep frames local.
 type Scheduler struct {
 	meter *clock.Meter
 
@@ -29,6 +55,22 @@ type Scheduler struct {
 	cpus   []runqueue
 	rr     atomic.Uint64 // round-robin placement for unaffined threads
 	nready atomic.Int64  // threads queued across all run queues
+
+	// exec is the machine access plane dispatched threads run their
+	// simulated memory traffic against (hw.Machine implements it).
+	// Attached once at boot, before any thread body runs.
+	exec Exec
+
+	// NUMA shape for placement, mirroring the machine topology's
+	// contiguous layout (CPU k lives on node k / cpusPerNode). Zero
+	// nnodes means no topology: flat round-robin placement. nodeRR
+	// rotates hint-less threads across nodes; nodeCursor[i] rotates
+	// placements within node i (padded so hot spawning nodes do not
+	// false-share cursors).
+	nnodes      int
+	cpusPerNode int
+	nodeRR      atomic.Uint64
+	nodeCursor  []nodeCounter
 
 	// Idle coordination for the multi-CPU dispatch loops. idleMu nests
 	// inside mu (enqueues signal while callers hold mu) and is never
@@ -74,6 +116,52 @@ type runqueue struct {
 type sleeper struct {
 	t        *Thread
 	deadline uint64
+}
+
+// nodeCounter is one node's placement cursor, padded to a 64-byte
+// stride like the run queues.
+type nodeCounter struct {
+	c atomic.Uint64
+	_ [56]byte
+}
+
+// Exec is the simulated-machine access surface dispatched threads run
+// against: the initiator-threaded Load/Store/Touch forms of
+// hw.Machine. The scheduler holds it so every thread body's simulated
+// access goes through the CPU the thread is dispatched on.
+type Exec interface {
+	LoadOn(cpu mmu.CPUID, ctx mmu.ContextID, va mmu.VAddr, buf []byte) error
+	StoreOn(cpu mmu.CPUID, ctx mmu.ContextID, va mmu.VAddr, buf []byte) error
+	TouchOn(cpu mmu.CPUID, ctx mmu.ContextID, va mmu.VAddr, access mmu.Access) error
+	TouchTaggedOn(cpu mmu.CPUID, ctx mmu.ContextID, va mmu.VAddr, access mmu.Access, token uint64) error
+}
+
+// ErrNoExec is returned by thread memory accesses when no machine
+// access plane has been attached (a scheduler running without a
+// machine, as in unit tests).
+var ErrNoExec = errors.New("threads: no machine access plane attached")
+
+// ErrNotDispatched is returned by thread memory accesses from a thread
+// that has never been dispatched and carries no CPU binding: it has no
+// CPU identity to charge against yet.
+var ErrNotDispatched = errors.New("threads: thread has no CPU identity (never dispatched)")
+
+// AttachExec wires the machine access plane thread bodies perform
+// their simulated memory traffic through. Called once at boot, before
+// any thread body runs; the kernel attaches the machine itself.
+func (s *Scheduler) AttachExec(e Exec) { s.exec = e }
+
+// SetTopology teaches placement the machine's NUMA shape: nodes
+// contiguous groups of cpusPerNode CPUs, matching hw.Topology's
+// layout. Called at boot; a shape that does not cover the scheduler's
+// CPUs exactly panics (a construction-time programming error).
+func (s *Scheduler) SetTopology(nodes, cpusPerNode int) {
+	if nodes <= 0 || cpusPerNode <= 0 || nodes*cpusPerNode != len(s.cpus) {
+		panic("threads: topology does not match scheduler CPUs")
+	}
+	s.nnodes = nodes
+	s.cpusPerNode = cpusPerNode
+	s.nodeCursor = make([]nodeCounter, nodes)
 }
 
 // NewScheduler builds a single-CPU scheduler charging against meter.
@@ -136,27 +224,44 @@ func (s *Scheduler) newThread(name string, proto bool) *Thread {
 		protoDone: make(chan bool, 1),
 		done:      make(chan struct{}),
 	}
-	t.cpu.Store(-1)
+	t.cpu.Store(int32(mmu.NoCPU))
+	t.node.Store(-1)
 	return t
 }
 
 // Spawn creates a real thread that will run fn when scheduled. The
 // full thread-creation cost is charged immediately.
 func (s *Scheduler) Spawn(name string, fn func(*Thread)) *Thread {
-	return s.SpawnOn(-1, name, fn)
+	return s.SpawnOn(mmu.NoCPU, name, fn)
+}
+
+// spawnNear is Spawn with a placement hint: the new thread is
+// unaffined (stealable, no pinned CPU) but its first placement rotates
+// within origin's NUMA node. Thread.Spawn passes the spawner's CPU.
+func (s *Scheduler) spawnNear(origin mmu.CPUID, name string, fn func(*Thread)) *Thread {
+	node := int32(-1)
+	if s.nnodes > 0 && origin >= 0 && int(origin) < len(s.cpus) {
+		node = int32(int(origin) / s.cpusPerNode)
+	}
+	return s.spawn(mmu.NoCPU, node, name, fn)
 }
 
 // SpawnOn is Spawn with a CPU affinity: the thread is queued on (and
-// keeps returning to) the given CPU's run queue, unless stolen. A
-// negative cpu means no affinity (round-robin placement). The event
-// service uses it to route pop-up threads to the CPU an interrupt was
-// bound to.
-func (s *Scheduler) SpawnOn(cpu int, name string, fn func(*Thread)) *Thread {
+// keeps returning to) the given CPU's run queue, unless stolen.
+// mmu.NoCPU means no affinity (round-robin placement; see the
+// placement order in the package comment). The event service uses it
+// to route pop-up threads to the CPU an interrupt was bound to.
+func (s *Scheduler) SpawnOn(cpu mmu.CPUID, name string, fn func(*Thread)) *Thread {
+	return s.spawn(cpu, -1, name, fn)
+}
+
+func (s *Scheduler) spawn(cpu mmu.CPUID, node int32, name string, fn func(*Thread)) *Thread {
 	s.meter.Charge(clock.OpThreadCreate)
 	t := s.newThread(name, false)
-	if cpu >= 0 && cpu < len(s.cpus) {
+	if cpu >= 0 && int(cpu) < len(s.cpus) {
 		t.cpu.Store(int32(cpu))
 	}
+	t.node.Store(node)
 	go func() {
 		<-t.resume
 		t.setState(StateRunning)
@@ -178,7 +283,7 @@ func (s *Scheduler) PopUpEager(name string, fn func(*Thread)) *Thread {
 }
 
 // PopUpEagerOn is PopUpEager with a CPU affinity.
-func (s *Scheduler) PopUpEagerOn(cpu int, name string, fn func(*Thread)) *Thread {
+func (s *Scheduler) PopUpEagerOn(cpu mmu.CPUID, name string, fn func(*Thread)) *Thread {
 	return s.SpawnOn(cpu, name, fn)
 }
 
@@ -192,18 +297,19 @@ func (s *Scheduler) PopUpEagerOn(cpu int, name string, fn func(*Thread)) *Thread
 // The returned thread handle reports, via Promoted, which path was
 // taken; ran is true when fn completed inline.
 func (s *Scheduler) PopUpProto(name string, fn func(*Thread)) (t *Thread, ran bool) {
-	return s.PopUpProtoOn(-1, name, fn)
+	return s.PopUpProtoOn(mmu.NoCPU, name, fn)
 }
 
 // PopUpProtoOn is PopUpProto with a CPU affinity for the promotion
 // path: a proto-thread that blocks is queued on (and keeps returning
 // to) the given CPU, so a promoted interrupt handler stays on the CPU
-// its event was bound to. The inline fast path is unaffected. A
-// negative cpu means no affinity.
-func (s *Scheduler) PopUpProtoOn(cpu int, name string, fn func(*Thread)) (t *Thread, ran bool) {
+// its event was bound to — and its simulated memory traffic keeps
+// charging that CPU's TLB. The inline fast path is unaffected.
+// mmu.NoCPU means no affinity.
+func (s *Scheduler) PopUpProtoOn(cpu mmu.CPUID, name string, fn func(*Thread)) (t *Thread, ran bool) {
 	s.meter.Charge(clock.OpProtoThread)
 	t = s.newThread(name, true)
-	if cpu >= 0 && cpu < len(s.cpus) {
+	if cpu >= 0 && int(cpu) < len(s.cpus) {
 		t.cpu.Store(int32(cpu))
 	}
 	t.setState(StateRunning)
@@ -244,6 +350,16 @@ func (s *Scheduler) ready(t *Thread) {
 	if n := len(s.cpus); n > 1 {
 		if a := int(t.cpu.Load()); a >= 0 && a < n {
 			cpu = a
+		} else if s.nnodes > 0 {
+			// Node-aware placement (order documented on Scheduler):
+			// rotate within the hinted node; hint-less threads rotate
+			// nodes first, then CPUs within the node they landed on.
+			node := int(t.node.Load())
+			if node < 0 || node >= s.nnodes {
+				node = int(s.nodeRR.Add(1)-1) % s.nnodes
+			}
+			within := int(s.nodeCursor[node].c.Add(1)-1) % s.cpusPerNode
+			cpu = node*s.cpusPerNode + within
 		} else {
 			cpu = int(s.rr.Add(1)-1) % n
 		}
@@ -355,18 +471,32 @@ func (s *Scheduler) pop(cpu int) *Thread {
 	return t
 }
 
-// stealFor scans the other CPUs' queues from a random starting victim
-// and, at the first non-empty one, takes HALF the deque from the back
-// (at least one thread; the owner keeps the front half and its FIFO
-// order). The newest stolen thread is returned for immediate dispatch
-// and the rest land on the thief's own queue, so a burst concentrated
-// on one CPU — many pop-up threads from one interrupt line — spreads
-// across the topology in O(log n) steal operations instead of O(n).
+// stealFor scans other CPUs' queues and, at the first non-empty one,
+// takes HALF the deque from the back (at least one thread; the owner
+// keeps the front half and its FIFO order). With a NUMA topology the
+// scan covers same-node victims first (random start within the node),
+// then the rest of the machine (random start) — rebalancing prefers
+// migrations that keep the migrated threads' frames local. The newest
+// stolen thread is returned for immediate dispatch and the rest land
+// on the thief's own queue, so a burst concentrated on one CPU — many
+// pop-up threads from one interrupt line — spreads across the
+// topology in O(log n) steal operations instead of O(n).
 func (s *Scheduler) stealFor(me int, rng *clock.Rand) *Thread {
-	n := len(s.cpus)
-	start := rng.Intn(n)
-	for i := 0; i < n; i++ {
-		v := (start + i) % n
+	if s.nnodes > 0 {
+		base := (me / s.cpusPerNode) * s.cpusPerNode
+		if t := s.stealScan(me, base, s.cpusPerNode, rng); t != nil {
+			return t
+		}
+	}
+	return s.stealScan(me, 0, len(s.cpus), rng)
+}
+
+// stealScan is one steal pass over the width CPUs starting at base,
+// from a random start within the window, skipping the thief itself.
+func (s *Scheduler) stealScan(me, base, width int, rng *clock.Rand) *Thread {
+	start := rng.Intn(width)
+	for i := 0; i < width; i++ {
+		v := base + (start+i)%width
 		if v == me {
 			continue
 		}

@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"paramecium/internal/mmu"
 )
 
 // State is a thread's scheduling state.
@@ -62,9 +64,14 @@ type Thread struct {
 	sched *Scheduler
 
 	// cpu is the virtual CPU the thread last ran on (its affinity for
-	// requeueing), or -1 before the first dispatch. Stealing rewrites
-	// it at the next dispatch.
+	// requeueing), or NoCPU before the first dispatch. Stealing
+	// rewrites it at the next dispatch.
 	cpu atomic.Int32
+
+	// node is the NUMA node first placement should rotate within —
+	// the spawner's node for Thread.Spawn siblings — or -1 when the
+	// thread has no placement hint. Meaningless once cpu is set.
+	node atomic.Int32
 
 	// mu guards the mutable fields below; the scheduler's own lock
 	// orders cross-thread transitions.
@@ -98,9 +105,79 @@ func (t *Thread) State() State {
 	return t.state
 }
 
-// LastCPU reports the virtual CPU the thread last ran on, or -1 if it
-// has not been dispatched yet.
-func (t *Thread) LastCPU() int { return int(t.cpu.Load()) }
+// LastCPU reports the virtual CPU the thread last ran on, or mmu.NoCPU
+// if it has not been dispatched yet. The identity is the machine's
+// own: scheduler CPU k is hw.Machine.CPUByID(k), so the value indexes
+// per-CPU TLB and trap state directly.
+func (t *Thread) LastCPU() mmu.CPUID { return mmu.CPUID(t.cpu.Load()) }
+
+// Spawn creates an unaffined sibling thread placed near the spawner:
+// with a NUMA topology the child's first placement rotates across the
+// CPUs of the spawner's node (spilling cross-node only through work
+// stealing); without one it falls back to the scheduler's flat
+// round-robin. The full thread-creation cost is charged immediately.
+func (t *Thread) Spawn(name string, fn func(*Thread)) *Thread {
+	return t.sched.spawnNear(mmu.CPUID(t.cpu.Load()), name, fn)
+}
+
+// Load reads simulated memory at va in context ctx through the CPU the
+// thread is currently dispatched on, so the access populates (and the
+// misses charge) that CPU's TLB.
+func (t *Thread) Load(ctx mmu.ContextID, va mmu.VAddr, buf []byte) error {
+	e, cpu, err := t.execCPU()
+	if err != nil {
+		return err
+	}
+	return e.LoadOn(cpu, ctx, va, buf)
+}
+
+// Store writes simulated memory at va in context ctx through the CPU
+// the thread is currently dispatched on.
+func (t *Thread) Store(ctx mmu.ContextID, va mmu.VAddr, buf []byte) error {
+	e, cpu, err := t.execCPU()
+	if err != nil {
+		return err
+	}
+	return e.StoreOn(cpu, ctx, va, buf)
+}
+
+// Touch performs a zero-length access of the given kind at va on the
+// thread's current CPU: the full translation (and fault) machinery
+// without moving data.
+func (t *Thread) Touch(ctx mmu.ContextID, va mmu.VAddr, access mmu.Access) error {
+	e, cpu, err := t.execCPU()
+	if err != nil {
+		return err
+	}
+	return e.TouchOn(cpu, ctx, va, access)
+}
+
+// TouchTagged is Touch with a caller-supplied token delivered in the
+// trap frame of any resulting page fault.
+func (t *Thread) TouchTagged(ctx mmu.ContextID, va mmu.VAddr, access mmu.Access, token uint64) error {
+	e, cpu, err := t.execCPU()
+	if err != nil {
+		return err
+	}
+	return e.TouchTaggedOn(cpu, ctx, va, access, token)
+}
+
+// execCPU resolves the thread's execution context: the scheduler's
+// attached machine access plane plus the CPU the thread is dispatched
+// on. A thread that has never been dispatched (and carries no binding)
+// has no CPU identity yet — that is an error, never a silent fallback
+// to another CPU's TLB.
+func (t *Thread) execCPU() (Exec, mmu.CPUID, error) {
+	e := t.sched.exec
+	if e == nil {
+		return nil, mmu.NoCPU, ErrNoExec
+	}
+	cpu := mmu.CPUID(t.cpu.Load())
+	if cpu == mmu.NoCPU {
+		return nil, mmu.NoCPU, ErrNotDispatched
+	}
+	return e, cpu, nil
+}
 
 // Promoted reports whether this thread began life as a proto-thread
 // and was promoted to a real thread.

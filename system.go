@@ -49,6 +49,25 @@ func WithCPUs(n int) Option {
 	return func(c *core.Config) { c.CPUs = n }
 }
 
+// Topology is the machine's NUMA shape; see WithTopology. The zero
+// value (no topology) is the classic flat machine.
+type Topology = hw.Topology
+
+// WithTopology boots the machine as a NUMA topology: nodes memory
+// nodes of cpusPerNode CPUs each (the CPU count is nodes×cpusPerNode,
+// overriding WithCPUs). Frames are homed on a node at allocation time
+// — first-touch by default, explicitly via the memory service's
+// AllocPageOnNode — and every access whose CPU's node differs from the
+// touched frame's home is charged OpRemoteFrameAccess scaled by the
+// node distance (uniform distance 1 here; hand WithMachine a
+// hw.Topology with a Distance matrix for asymmetric interconnects).
+// The thread scheduler places and steals node-aware. The default
+// single-node machine charges nothing new, so uniprocessor and flat
+// multiprocessor numbers are unchanged.
+func WithTopology(nodes, cpusPerNode int) Option {
+	return func(c *core.Config) { c.Machine.Topology = hw.NewTopology(nodes, cpusPerNode) }
+}
+
 // Boot assembles a Paramecium system: the simulated machine and the
 // nucleus — "a protected and trusted component which implements only
 // those services that cannot be moved into the application without

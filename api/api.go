@@ -10,8 +10,10 @@ package api
 
 import (
 	"paramecium/internal/obj"
+	"paramecium/internal/probe"
 	"paramecium/internal/ring"
 	"paramecium/internal/shm"
+	"paramecium/internal/trace"
 )
 
 // Method is a late-bound method implementation. Arguments and results
@@ -224,3 +226,37 @@ var (
 	// ErrRingRecordSize reports a record larger than the ring's slots.
 	ErrRingRecordSize = ring.ErrRecordSize
 )
+
+// Tracer is a measurement interposer: it wraps every method of every
+// interface an instance exports and counts and times each call in
+// virtual cycles, without the target or its clients changing at all —
+// the paper's "powerful monitoring tools" built out of interposition.
+// Install one on a bound name with Handle.Trace.
+type Tracer = trace.Tracer
+
+// MethodStats aggregates one traced method's observations: calls,
+// errors, total cycles inside the target, and a latency histogram.
+type MethodStats = trace.MethodStats
+
+// MethodSnapshot is one traced method's stats as copied out by
+// Tracer.Snapshot: the "iface.method" key plus the stats value.
+type MethodSnapshot = trace.MethodSnapshot
+
+// Histogram is a power-of-two bucketed latency histogram; bucket i
+// counts observations in [2^i, 2^(i+1)) virtual cycles.
+type Histogram = trace.Histogram
+
+// TraceEvent is one kernel flight-recorder event: a typed occurrence
+// (crossing leg, batch dispatch, fault, TLB traffic, doorbell, grant
+// motion, scheduler activity) stamped with its virtual-clock cycles,
+// CPU and paying protection domain. A and B carry kind-specific
+// operands; see the Observability section of ARCHITECTURE.md.
+type TraceEvent = probe.Event
+
+// TraceKind is the type tag of a flight-recorder event.
+type TraceKind = probe.Kind
+
+// LedgerRow is one protection domain's row of the per-domain cycle
+// ledger: total attributed cycles plus per-operation cycle and count
+// columns, frozen at domain destruction.
+type LedgerRow = probe.RowSnapshot

@@ -11,12 +11,14 @@ import (
 	"testing"
 
 	"paramecium/internal/bench"
+	"paramecium/internal/clock"
 	"paramecium/internal/core"
 	"paramecium/internal/event"
 	"paramecium/internal/hw"
 	"paramecium/internal/mmu"
 	"paramecium/internal/netstack"
 	"paramecium/internal/obj"
+	"paramecium/internal/probe"
 	"paramecium/internal/threads"
 )
 
@@ -702,4 +704,54 @@ func BenchmarkF5_TrapCostSweep(b *testing.B) {
 	b.StopTimer()
 	reportCycles(b, watch.Elapsed())
 	logTable(b, bench.F5TrapCostSweep())
+}
+
+// BenchmarkP10_TraceOverhead measures the kernel flight recorder's
+// cost in the two states that matter: path=emit is one instrumented
+// call site (the gate check, and when open, one event emission into
+// the per-CPU ring), path=cross is a full cross-domain invocation with
+// every crossing probe firing and every charge rolling into the
+// per-domain ledger. CI's allocs gate holds both emit rows at exactly
+// 0 allocs/op — the disabled path is one atomic load and the enabled
+// path is lock-free atomics into a preallocated ring — and the cycles
+// metric on the cross rows is identical off and on: recording is free
+// in virtual time.
+func BenchmarkP10_TraceOverhead(b *testing.B) {
+	for _, state := range []string{"off", "on"} {
+		enabled := state == "on"
+		b.Run(fmt.Sprintf("path=emit/state=%s", state), func(b *testing.B) {
+			m := clock.NewMeter(clock.DefaultCosts())
+			if enabled {
+				m.EnableTracing(probe.NewRecorder(1, 0), probe.NewLedger(clock.LedgerSlots))
+				defer m.DisableTracing()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if probe.Enabled() {
+					m.Emit(0, probe.KindDoorbell, 1, uint64(i), 0)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("path=cross/state=%s", state), func(b *testing.B) {
+			inc, _, w := bench.SharedCounterHandleCPUs(1)
+			if enabled {
+				w.K.Meter.EnableTracing(
+					probe.NewRecorder(w.K.Machine.NumCPUs(), 0),
+					probe.NewLedger(clock.LedgerSlots))
+				defer w.K.Meter.DisableTracing()
+			}
+			var buf [1]any
+			watch := w.K.Meter.Clock.StartWatch()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := inc.CallInto(buf[:0]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			reportCycles(b, watch.Elapsed())
+		})
+	}
 }

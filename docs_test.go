@@ -65,6 +65,58 @@ func TestArchitectureCostTableFresh(t *testing.T) {
 	}
 }
 
+// probeKinds parses internal/probe/probe.go and returns every exported
+// Kind* constant, straight from the source of truth.
+func probeKinds(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "internal/probe/probe.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parse internal/probe/probe.go: %v", err)
+	}
+	var kinds []string
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				if strings.HasPrefix(name.Name, "Kind") && name.IsExported() {
+					kinds = append(kinds, name.Name)
+				}
+			}
+		}
+	}
+	if len(kinds) == 0 {
+		t.Fatal("found no Kind* constants in internal/probe/probe.go")
+	}
+	return kinds
+}
+
+// TestArchitectureObservabilityFresh fails when ARCHITECTURE.md's
+// event-schema table omits any probe.Kind* constant: the flight
+// recorder's schema is documented as exhaustive, and this keeps it so.
+func TestArchitectureObservabilityFresh(t *testing.T) {
+	arch, err := os.ReadFile("ARCHITECTURE.md")
+	if err != nil {
+		t.Fatalf("ARCHITECTURE.md must exist at the repository root: %v", err)
+	}
+	var missing []string
+	for _, kind := range probeKinds(t) {
+		if !strings.Contains(string(arch), "`"+kind+"`") {
+			missing = append(missing, kind)
+		}
+	}
+	if len(missing) > 0 {
+		t.Fatalf("ARCHITECTURE.md event-schema table omits %v — add a row (event + A/B operands) for each new probe.Kind*", missing)
+	}
+}
+
 // TestArchitectureLinked pins the docs topology: the README and the
 // root package doc both point readers at ARCHITECTURE.md.
 func TestArchitectureLinked(t *testing.T) {

@@ -184,6 +184,7 @@ func All() []*Analyzer {
 		HotpathAlloc,
 		AtomicMix,
 		CPUState,
+		ProbeSafe,
 	}
 }
 

@@ -35,6 +35,7 @@ func TestLockOrderGolden(t *testing.T)    { golden(t, LockOrder) }
 func TestHotpathAllocGolden(t *testing.T) { golden(t, HotpathAlloc) }
 func TestAtomicMixGolden(t *testing.T)    { golden(t, AtomicMix) }
 func TestCPUStateGolden(t *testing.T)     { golden(t, CPUState) }
+func TestProbeSafeGolden(t *testing.T)    { golden(t, ProbeSafe) }
 
 // TestRealTreeClean is the smoke gate behind CI's paralint job: every
 // analyzer over every module package must produce zero findings.

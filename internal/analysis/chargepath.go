@@ -117,13 +117,17 @@ func namedTypeName(t types.Type) string {
 	return ""
 }
 
-// isDirectCharge reports a Meter.Charge/ChargeN call.
+// isDirectCharge reports a Meter.Charge/ChargeN call or one of their
+// attributed forms (ChargeFor/ChargeNFor, which charge identically and
+// additionally name the paying domain for the cycle ledger).
 func (cp *chargePath) isDirectCharge(call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return false
 	}
-	if sel.Sel.Name != "Charge" && sel.Sel.Name != "ChargeN" {
+	switch sel.Sel.Name {
+	case "Charge", "ChargeN", "ChargeFor", "ChargeNFor":
+	default:
 		return false
 	}
 	return namedTypeName(cp.pass.TypesInfo.TypeOf(sel.X)) == "Meter"

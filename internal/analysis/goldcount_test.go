@@ -13,6 +13,7 @@ func TestGoldenCounts(t *testing.T) {
 		{HotpathAlloc, "testdata/src/hotpathalloc", 8},
 		{AtomicMix, "testdata/src/atomicmix", 2},
 		{CPUState, "testdata/src/cpustate", 5},
+		{ProbeSafe, "testdata/src/probesafe", 8},
 	} {
 		pkg, err := sharedLoader(t).LoadDir(tc.dir)
 		if err != nil {

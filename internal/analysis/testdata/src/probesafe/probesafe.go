@@ -1,0 +1,120 @@
+// Package probesafe is the golden suite for the probesafe analyzer:
+// flight-recorder Emit call sites must sit under the probe enable
+// gate and must not allocate in their argument expressions.
+package probesafe
+
+// Enabled is the gate predicate (stands in for probe.Enabled).
+func Enabled() bool { return false }
+
+// Meter stands in for clock.Meter's emission wrapper.
+type Meter struct{}
+
+// Emit stands in for the real emission entry point.
+func (m *Meter) Emit(a, b any) {}
+
+// Recorder stands in for probe.Recorder.
+type Recorder struct{}
+
+// Emit stands in for the recorder's raw emission entry point.
+func (r *Recorder) Emit(a, b any) {}
+
+type payload struct{ x uint64 }
+
+// gated wraps the emit in the canonical enable-gate block.
+func gated(m *Meter, v uint64) {
+	if Enabled() {
+		m.Emit(v, v)
+	}
+}
+
+// ungated emits with no gate in sight.
+func ungated(m *Meter, v uint64) {
+	m.Emit(v, v) // want `Emit call site is not under the probe enable gate`
+}
+
+// ungatedRecorder emits on the raw recorder with no gate.
+func ungatedRecorder(r *Recorder, v uint64) {
+	r.Emit(v, v) // want `Emit call site is not under the probe enable gate`
+}
+
+// earlyReturn uses the leading negated-gate form; everything after the
+// early exit is gated.
+func earlyReturn(m *Meter, v uint64) {
+	if !Enabled() {
+		return
+	}
+	m.Emit(v, v)
+}
+
+// conjunct gates through a short-circuit conjunction.
+func conjunct(m *Meter, crossing bool, v uint64) {
+	if crossing && Enabled() {
+		m.Emit(v, v)
+	}
+}
+
+// nested keeps the gate across nested control flow inside the block.
+func nested(m *Meter, crossing bool, v uint64) {
+	if Enabled() {
+		m.Emit(v, 0)
+		if crossing {
+			m.Emit(v, 1)
+		}
+	}
+}
+
+// elseArm is not covered by the gate: the condition was false there.
+func elseArm(m *Meter, v uint64) {
+	if Enabled() {
+		m.Emit(v, 0)
+	} else {
+		m.Emit(v, 1) // want `Emit call site is not under the probe enable gate`
+	}
+}
+
+// deferred defers the emit: it runs at return, outside the guard's
+// dynamic extent, so the deferred expression needs its own gate.
+func deferred(m *Meter, v uint64) {
+	if Enabled() {
+		defer m.Emit(v, v) // want `Emit call site is not under the probe enable gate`
+	}
+}
+
+// escaped captures the emit in a function literal that may be invoked
+// long after the gate check.
+func escaped(m *Meter, v uint64) func() {
+	if Enabled() {
+		return func() {
+			m.Emit(v, v) // want `Emit call site is not under the probe enable gate`
+		}
+	}
+	return nil
+}
+
+// allocLiteral builds a composite literal in an argument.
+func allocLiteral(m *Meter, v uint64) {
+	if Enabled() {
+		m.Emit(&payload{x: v}, v) // want `composite literal, which allocates`
+	}
+}
+
+// allocAppend grows a slice in an argument.
+func allocAppend(m *Meter, vs []uint64, v uint64) {
+	if Enabled() {
+		m.Emit(append(vs, v), v) // want `calls append, which allocates`
+	}
+}
+
+// allocConcat concatenates strings in an argument.
+func allocConcat(m *Meter, name string) {
+	if Enabled() {
+		m.Emit(name+"!", 0) // want `concatenates strings, which allocates`
+	}
+}
+
+// pinned is a reviewed deviation: the fixture's gate is established by
+// its sole caller, documented here.
+func pinned(m *Meter, v uint64) {
+	//paralint:ignore probesafe caller holds the gate by construction
+	m.Emit(v, v)
+}

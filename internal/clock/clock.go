@@ -10,6 +10,8 @@ package clock
 import (
 	"fmt"
 	"sync/atomic"
+
+	"paramecium/internal/probe"
 )
 
 // Clock is a monotonically increasing virtual cycle counter. It is safe
@@ -221,12 +223,73 @@ func (m CostModel) WithCost(op Op, cycles uint64) CostModel {
 	return m
 }
 
+// Attribution of charges to protection domains. The clock package
+// cannot import the MMU, so domain contexts appear here as their raw
+// uint32 ids; KernelDomain mirrors mmu.KernelContext.
+const (
+	// KernelDomain is the ledger row charges land on when no explicit
+	// payer is known: plain Charge/ChargeN, boot-time machinery,
+	// teardown sweeps.
+	KernelDomain uint32 = 0
+	// IdleSlot is the ledger's pseudo-operation slot for clock advances
+	// outside any costed operation — the scheduler fast-forwarding
+	// virtual time to the next timer deadline. It sits after every real
+	// Op ordinal so the two index spaces never collide.
+	IdleSlot = NumOps
+	// LedgerSlots is the operation-slot count a Meter's ledger needs:
+	// every Op plus the idle pseudo-slot.
+	LedgerSlots = NumOps + 1
+)
+
+// LedgerOpName names a ledger operation slot: Op mnemonics for real
+// ordinals, "idle-advance" for the pseudo-slot.
+func LedgerOpName(slot int) string {
+	if slot == IdleSlot {
+		return "idle-advance"
+	}
+	return Op(slot).String()
+}
+
+// Class buckets an operation for the attribution report's cost split:
+// protection-crossing machinery, wire-level streaming bookkeeping,
+// payload copies, TLB shootdowns, and everything else.
+func (o Op) Class() string {
+	switch o {
+	case OpTrapEnter, OpTrapExit, OpInterrupt, OpCtxSwitch, OpPageFault, OpBatchEntry:
+		return "crossing"
+	case OpRingPush, OpRingPop, OpDoorbell:
+		return "wire"
+	case OpCopyWord:
+		return "copy"
+	case OpTLBShootdown:
+		return "shootdown"
+	}
+	return "other"
+}
+
+// LedgerOpClass is Op.Class extended over ledger slots.
+func LedgerOpClass(slot int) string {
+	if slot == IdleSlot {
+		return "other"
+	}
+	return Op(slot).Class()
+}
+
+// probeSink bundles the flight recorder and ledger a tracing-enabled
+// Meter feeds. It is installed atomically as one pointer so the
+// disabled path stays a single load.
+type probeSink struct {
+	rec *probe.Recorder
+	led *probe.Ledger
+}
+
 // Meter couples a Clock with a CostModel and per-operation counters.
 // Subsystems hold a *Meter and call Charge for every costed operation.
 type Meter struct {
 	Clock *Clock
 	Model CostModel
 	tally [NumOps]atomic.Uint64
+	sink  atomic.Pointer[probeSink]
 }
 
 // NewMeter builds a Meter over a fresh clock and the given model.
@@ -234,22 +297,109 @@ func NewMeter(model CostModel) *Meter {
 	return &Meter{Clock: New(), Model: model}
 }
 
-// Charge advances the clock by the cost of op and counts the event.
-func (m *Meter) Charge(op Op) {
-	m.ChargeN(op, 1)
+// EnableTracing attaches a flight recorder and per-domain ledger to the
+// meter and raises the package-level probe gate. From then on every
+// charge rolls up into the ledger under its paying domain, and
+// instrumented subsystems emit events into the recorder. Pair with
+// DisableTracing.
+func (m *Meter) EnableTracing(rec *probe.Recorder, led *probe.Ledger) {
+	m.sink.Store(&probeSink{rec: rec, led: led})
+	probe.Enable()
 }
 
-// ChargeN charges n occurrences of op at once.
+// DisableTracing detaches the meter's recorder and ledger and lowers
+// the probe gate raised by EnableTracing. A no-op if tracing was never
+// enabled on this meter.
+func (m *Meter) DisableTracing() {
+	if m.sink.Swap(nil) != nil {
+		probe.Disable()
+	}
+}
+
+// Recorder returns the attached flight recorder, or nil.
+func (m *Meter) Recorder() *probe.Recorder {
+	if s := m.sink.Load(); s != nil {
+		return s.rec
+	}
+	return nil
+}
+
+// Ledger returns the attached per-domain ledger, or nil.
+func (m *Meter) Ledger() *probe.Ledger {
+	if s := m.sink.Load(); s != nil {
+		return s.led
+	}
+	return nil
+}
+
+// Emit records one flight-recorder event stamped with the clock's
+// current virtual time, if tracing is enabled on this meter. Call
+// sites guard with probe.Enabled() so the disabled path pays only that
+// one load — the probesafe analyzer enforces the guard.
+//
+//paramecium:hotpath
+func (m *Meter) Emit(cpu int, kind probe.Kind, domain uint32, a, b uint64) {
+	if !probe.Enabled() {
+		return
+	}
+	if s := m.sink.Load(); s != nil && s.rec != nil {
+		s.rec.Emit(cpu, m.Clock.Now(), kind, domain, a, b)
+	}
+}
+
+// Charge advances the clock by the cost of op and counts the event,
+// attributed to the kernel domain.
+func (m *Meter) Charge(op Op) {
+	m.ChargeNFor(KernelDomain, op, 1)
+}
+
+// ChargeN charges n occurrences of op at once, attributed to the
+// kernel domain.
 func (m *Meter) ChargeN(op Op, n uint64) {
+	m.ChargeNFor(KernelDomain, op, n)
+}
+
+// ChargeFor charges one occurrence of op, attributing its cycles to
+// the paying domain's ledger row when tracing is enabled.
+func (m *Meter) ChargeFor(payer uint32, op Op) {
+	m.ChargeNFor(payer, op, 1)
+}
+
+// ChargeNFor charges n occurrences of op at once, attributing the
+// cycles to payer. Subsystems that know the responsible domain — the
+// proxy's caller, the context touching memory, the context whose
+// mapping a shootdown serves — use this form; the plain forms bill the
+// kernel.
+func (m *Meter) ChargeNFor(payer uint32, op Op, n uint64) {
 	if n == 0 {
 		return
 	}
-	if c := m.Model.Cost(op); c != 0 {
+	c := m.Model.Cost(op)
+	if c != 0 {
 		m.Clock.Advance(c * n)
 	}
 	if op >= 0 && int(op) < NumOps {
 		m.tally[op].Add(n)
 	}
+	if probe.Enabled() {
+		if s := m.sink.Load(); s != nil && s.led != nil {
+			s.led.Add(payer, int(op), c*n, n)
+		}
+	}
+}
+
+// AdvanceAttributed advances the clock by n cycles outside any costed
+// operation — the scheduler fast-forwarding to a timer deadline — and
+// attributes them to the kernel row's idle pseudo-slot, so an enabled
+// ledger's total still equals the clock. Returns the new time.
+func (m *Meter) AdvanceAttributed(n uint64) uint64 {
+	t := m.Clock.Advance(n)
+	if n != 0 && probe.Enabled() {
+		if s := m.sink.Load(); s != nil && s.led != nil {
+			s.led.Add(KernelDomain, IdleSlot, n, 1)
+		}
+	}
+	return t
 }
 
 // Count reports how many times op has been charged.

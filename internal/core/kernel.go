@@ -23,6 +23,7 @@ import (
 	"paramecium/internal/mmu"
 	"paramecium/internal/names"
 	"paramecium/internal/obj"
+	"paramecium/internal/probe"
 	"paramecium/internal/proxy"
 	"paramecium/internal/repoz"
 	"paramecium/internal/shm"
@@ -56,6 +57,15 @@ type Config struct {
 	// the scheduler. The default of one CPU preserves every
 	// single-processor semantic exactly.
 	CPUs int
+	// Trace enables the kernel flight recorder from boot: per-CPU event
+	// rings plus the per-domain cycle ledger, both reachable through the
+	// meter. Off by default; the disabled emit path is a single atomic
+	// load, so untraced systems pay nothing.
+	Trace bool
+	// TraceRingCapacity sizes each per-CPU event ring (0 selects
+	// probe.DefaultRingCapacity). Older events are overwritten; the
+	// ledger is exact regardless.
+	TraceRingCapacity int
 }
 
 // Kernel is a booted Paramecium system.
@@ -190,6 +200,12 @@ func Boot(cfg Config) (*Kernel, error) {
 	}
 	machine := hw.New(machineCfg)
 	meter := machine.Meter
+	if cfg.Trace {
+		meter.EnableTracing(
+			probe.NewRecorder(machine.NumCPUs(), cfg.TraceRingCapacity),
+			probe.NewLedger(clock.LedgerSlots),
+		)
+	}
 	memSvc := mem.New(machine)
 	sched := threads.NewSchedulerCPUs(meter, machine.NumCPUs())
 	// Scheduler CPU k and machine CPU k are one identity: thread
@@ -385,6 +401,12 @@ func (k *Kernel) DestroyDomain(d *Domain) error {
 		v.SweepInstances(isDoomed)
 	}
 	k.regMu.Unlock()
+	// Freeze the domain's ledger row while it is quiescent: its bill
+	// stays readable after death instead of being dropped with the
+	// domain. Context ids are never reused, so frozen is final.
+	if led := k.Meter.Ledger(); led != nil {
+		led.Freeze(uint32(d.Ctx))
+	}
 	// Quiescent: drains, condemn and sweep are done. Release waiters
 	// now, whether or not the context destruction below succeeds.
 	d.destroyOnce.Do(func() { close(d.destroyed) })

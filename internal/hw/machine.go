@@ -20,6 +20,7 @@ import (
 
 	"paramecium/internal/clock"
 	"paramecium/internal/mmu"
+	"paramecium/internal/probe"
 )
 
 // TrapVector identifies a synchronous processor event (trap).
@@ -254,8 +255,12 @@ func (m *Machine) RaiseTrap(frame *TrapFrame) (bool, error) {
 	m.mu.RUnlock()
 	m.trapsDelivered.Add(1)
 	m.cpus[frame.CPU].traps.Add(1)
-	m.Meter.Charge(clock.OpTrapEnter)
-	defer m.Meter.Charge(clock.OpTrapExit)
+	// The trapping context pays for both protection-boundary legs.
+	m.Meter.ChargeFor(uint32(frame.Ctx), clock.OpTrapEnter)
+	defer m.Meter.ChargeFor(uint32(frame.Ctx), clock.OpTrapExit)
+	if probe.Enabled() {
+		m.Meter.Emit(int(frame.CPU), probe.KindTrap, uint32(frame.Ctx), uint64(frame.Vector), uint64(frame.Arg))
+	}
 	if h == nil {
 		return false, fmt.Errorf("%w: trap %v", ErrNoHandler, frame.Vector)
 	}
@@ -380,10 +385,11 @@ func (m *Machine) accessOn(cpu mmu.CPUID, ctx mmu.ContextID, va mmu.VAddr, buf [
 			n = len(buf)
 		}
 		// Charge before touching DRAM: the cost model bills the copy
-		// attempt, so the movement below is always pre-paid.
-		m.Meter.ChargeN(clock.OpCopyWord, uint64((n+7)/8))
+		// attempt, so the movement below is always pre-paid. The touching
+		// context pays for its own memory traffic.
+		m.Meter.ChargeNFor(uint32(ctx), clock.OpCopyWord, uint64((n+7)/8))
 		if m.topo != nil {
-			m.chargeRemote(cpu, pa)
+			m.chargeRemote(cpu, ctx, pa)
 		}
 		if kind == mmu.AccessWrite {
 			err = m.Phys.Write(pa, buf[:n])
@@ -428,7 +434,10 @@ func (m *Machine) translateWithFaults(cpu mmu.CPUID, ctx mmu.ContextID, va mmu.V
 			// report it rather than spinning.
 			return 0, fmt.Errorf("hw: fault persists after handler: %w", f)
 		}
-		m.Meter.Charge(clock.OpPageFault)
+		m.Meter.ChargeFor(uint32(ctx), clock.OpPageFault)
+		if probe.Enabled() {
+			m.Meter.Emit(int(cpu), probe.KindFault, uint32(ctx), uint64(va), uint64(kind))
+		}
 		frame := trapFramePool.Get().(*TrapFrame)
 		*frame = TrapFrame{
 			Vector: TrapPageFault,

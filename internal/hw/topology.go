@@ -5,6 +5,7 @@ import (
 
 	"paramecium/internal/clock"
 	"paramecium/internal/mmu"
+	"paramecium/internal/probe"
 )
 
 // Topology is the machine's NUMA shape: Nodes memory nodes with
@@ -100,12 +101,15 @@ func (m *Machine) NodeOfCPU(cpu mmu.CPUID) int32 {
 // (FrameNode == NoNode) and single-node machines charge nothing.
 //
 //paramecium:hotpath
-func (m *Machine) chargeRemote(cpu mmu.CPUID, pa mmu.PAddr) {
+func (m *Machine) chargeRemote(cpu mmu.CPUID, ctx mmu.ContextID, pa mmu.PAddr) {
 	home := m.Phys.FrameNode(pa.Frame())
 	if home < 0 {
 		return
 	}
 	if d := m.topo.Distance[m.topo.NodeOf(cpu)][home]; d != 0 {
-		m.Meter.ChargeN(clock.OpRemoteFrameAccess, uint64(d))
+		m.Meter.ChargeNFor(uint32(ctx), clock.OpRemoteFrameAccess, uint64(d))
+		if probe.Enabled() {
+			m.Meter.Emit(int(cpu), probe.KindRemoteFrame, uint32(ctx), uint64(pa.Frame()), uint64(d))
+		}
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"paramecium/internal/clock"
+	"paramecium/internal/probe"
 )
 
 // PageSize is the size of a virtual and physical page in bytes.
@@ -354,11 +355,18 @@ func (m *MMU) DestroyContextFrom(initiator CPUID, id ContextID) error {
 			// held entries, regardless of how many it held.
 			c.tlb.shootdowns++
 			remote++
+			if probe.Enabled() {
+				m.meter.Emit(i, probe.KindShootdownRecv, uint32(id), uint64(held), 0)
+			}
 		}
 		c.mu.Unlock()
 	}
 	pt.mu.Unlock()
-	m.meter.ChargeN(clock.OpTLBShootdown, remote)
+	// The context whose mappings are torn down pays for its shootdowns.
+	m.meter.ChargeNFor(uint32(id), clock.OpTLBShootdown, remote)
+	if remote > 0 && probe.Enabled() {
+		m.meter.Emit(int(initiator), probe.KindShootdownInit, uint32(id), 0, remote)
+	}
 	return nil
 }
 
@@ -402,10 +410,14 @@ func (m *MMU) SwitchOn(cpu CPUID, id ContextID) error {
 		return nil
 	}
 	c.current.Store(uint32(id))
-	m.meter.Charge(clock.OpCtxSwitch)
+	// The destination context pays: a switch is part of entering it.
+	m.meter.ChargeFor(uint32(id), clock.OpCtxSwitch)
 	if m.flushOnSwitch {
 		c.tlb.flush()
-		m.meter.Charge(clock.OpTLBFlush)
+		m.meter.ChargeFor(uint32(id), clock.OpTLBFlush)
+		if probe.Enabled() {
+			m.meter.Emit(int(cpu), probe.KindTLBFlush, uint32(id), 0, 0)
+		}
 	}
 	return nil
 }
@@ -430,13 +442,16 @@ func (m *MMU) CrossSwitchOn(cpu CPUID, to ContextID) error {
 	if !ok {
 		return ErrNoContext
 	}
-	m.meter.Charge(clock.OpCtxSwitch)
+	m.meter.ChargeFor(uint32(to), clock.OpCtxSwitch)
 	if m.flushOnSwitch {
 		c := m.cpu(cpu)
 		c.mu.Lock()
 		c.tlb.flush()
 		c.mu.Unlock()
-		m.meter.Charge(clock.OpTLBFlush)
+		m.meter.ChargeFor(uint32(to), clock.OpTLBFlush)
+		if probe.Enabled() {
+			m.meter.Emit(int(cpu), probe.KindTLBFlush, uint32(to), 0, 0)
+		}
 	}
 	return nil
 }
@@ -559,11 +574,18 @@ func (m *MMU) invalidateAll(initiator CPUID, id ContextID, vpn uint64) {
 			if CPUID(i) != initiator {
 				c.tlb.shootdowns++
 				remote++
+				if probe.Enabled() {
+					m.meter.Emit(i, probe.KindShootdownRecv, uint32(id), vpn, 0)
+				}
 			}
 		}
 		c.mu.Unlock()
 	}
-	m.meter.ChargeN(clock.OpTLBShootdown, remote)
+	// The context whose mapping changed pays for the IPIs it caused.
+	m.meter.ChargeNFor(uint32(id), clock.OpTLBShootdown, remote)
+	if remote > 0 && probe.Enabled() {
+		m.meter.Emit(int(initiator), probe.KindShootdownInit, uint32(id), vpn, remote)
+	}
 }
 
 // Lookup returns the PTE for the page containing va without charging
@@ -621,7 +643,10 @@ func (m *MMU) TranslateOn(cpu CPUID, id ContextID, va VAddr, access Access) (PAd
 	// while still holding the table's read lock, so a concurrent
 	// Map/Unmap/Protect (write lock + shoot-down) cannot interleave
 	// between the walk and the insert and leave a stale TLB entry.
-	m.meter.Charge(clock.OpTLBMiss)
+	m.meter.ChargeFor(uint32(id), clock.OpTLBMiss)
+	if probe.Enabled() {
+		m.meter.Emit(int(cpu), probe.KindTLBMiss, uint32(id), vpn, 0)
+	}
 	pt.mu.RLock()
 	if pt.dead {
 		pt.mu.RUnlock()
@@ -657,6 +682,9 @@ func (m *MMU) FlushTLBOn(cpu CPUID) {
 	c.tlb.flush()
 	c.mu.Unlock()
 	m.meter.Charge(clock.OpTLBFlush)
+	if probe.Enabled() {
+		m.meter.Emit(int(cpu), probe.KindTLBFlush, uint32(KernelContext), 0, 0)
+	}
 }
 
 // TLBStats reports hits and misses summed over every CPU (the

@@ -20,6 +20,27 @@ type Batcher interface {
 	DispatchBatch(calls []BatchCall) error
 }
 
+// ModeBatcher is an optional Batcher extension for batchers that want
+// to know which dispatch mode formed the group they receive — the
+// cross-domain proxy records it in the flight recorder's
+// batch-dispatch events. It is telemetry, not routing: dispatch
+// semantics are identical to DispatchBatch.
+type ModeBatcher interface {
+	Batcher
+	DispatchBatchMode(calls []BatchCall, mode BatchMode) error
+}
+
+// dispatchGroup hands one group to its batcher, threading the batch
+// mode through when the batcher can use it.
+//
+//paramecium:hotpath
+func dispatchGroup(bt Batcher, calls []BatchCall, mode BatchMode) error {
+	if mb, ok := bt.(ModeBatcher); ok {
+		return mb.DispatchBatchMode(calls, mode)
+	}
+	return bt.DispatchBatch(calls)
+}
+
 // BatchCall is one queued invocation of a Batch: the resolved handle,
 // its arguments, and — after Run — its results or error.
 type BatchCall struct {
@@ -243,7 +264,7 @@ func (b *Batch) Run() error {
 			j++
 		}
 		b.crossings++
-		if err := c.h.batcher.DispatchBatch(calls[i:j]); err != nil && firstErr == nil {
+		if err := dispatchGroup(c.h.batcher, calls[i:j], InOrder); err != nil && firstErr == nil {
 			firstErr = err
 		}
 		i = j
@@ -324,7 +345,7 @@ func (b *Batch) runGrouped() error {
 		}
 		group := b.scratch[start:len(b.scratch):len(b.scratch)]
 		b.crossings++
-		if err := b.targets[k].DispatchBatch(group); err != nil && firstErr == nil {
+		if err := dispatchGroup(b.targets[k], group, Grouped); err != nil && firstErr == nil {
 			firstErr = err
 		}
 		// Scatter: each group entry's outcome lands back in the

@@ -1,6 +1,8 @@
 package obj
 
 import (
+	"sync/atomic"
+
 	"paramecium/internal/clock"
 )
 
@@ -53,8 +55,11 @@ type Coalescer struct {
 	delay uint64
 	due   uint64 // deadline for the oldest queued entry; valid when Len > 0
 
-	flushes   uint64
-	crossings uint64
+	// flushes/crossings are atomic: the submitting goroutine owns the
+	// coalescer, but monitoring code (trace snapshots, stats scrapes)
+	// reads these counters from other goroutines while flushes run.
+	flushes   atomic.Uint64
+	crossings atomic.Uint64
 
 	// OnFlush, if set, observes the batch after each Run and before
 	// the reset — per-entry results and errors are still readable,
@@ -99,7 +104,7 @@ func (c *Coalescer) SetMode(m BatchMode) { c.batch.SetMode(m) }
 func (c *Coalescer) Mode() BatchMode { return c.batch.Mode() }
 
 // Flushes reports how many non-empty flushes the coalescer has run.
-func (c *Coalescer) Flushes() uint64 { return c.flushes }
+func (c *Coalescer) Flushes() uint64 { return c.flushes.Load() }
 
 // Crossings reports the cumulative protection crossings the
 // coalescer's flushes have paid (each flushed Batcher group is one).
@@ -107,7 +112,7 @@ func (c *Coalescer) Flushes() uint64 { return c.flushes }
 // coalescer fed mixed targets in the default in-order mode degrades
 // toward one crossing per submitted call — visible here — and
 // SetMode(Grouped) restores one crossing per distinct target.
-func (c *Coalescer) Crossings() uint64 { return c.crossings }
+func (c *Coalescer) Crossings() uint64 { return c.crossings.Load() }
 
 // Size reports the flush threshold.
 func (c *Coalescer) Size() int { return c.size }
@@ -170,8 +175,11 @@ func (c *Coalescer) Flush() error {
 		return nil
 	}
 	err := c.batch.Run()
-	c.flushes++
-	c.crossings += uint64(c.batch.Crossings())
+	// Crossings before flushes, so a concurrent reader computing the
+	// amortization ratio Crossings/Flushes never sees a flush whose
+	// crossings have not landed yet.
+	c.crossings.Add(uint64(c.batch.Crossings()))
+	c.flushes.Add(1)
 	if c.OnFlush != nil {
 		c.OnFlush(c.batch)
 	}

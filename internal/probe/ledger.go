@@ -1,0 +1,157 @@
+package probe
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Ledger rolls clock charges up into per-domain rows: cycles and
+// occurrence counts per operation, per paying protection-domain
+// context. Every charge the meter makes while tracing is enabled lands
+// in exactly one row, so the sum of all row totals equals the clock —
+// the invariant the acceptance tests pin.
+//
+// The operation index space is the clock package's Op ordinals plus one
+// trailing pseudo-slot for unattributed clock advances (scheduler idle
+// fast-forward); the ledger itself only knows the slot count, keeping
+// this package free of a clock dependency.
+type Ledger struct {
+	ops int
+
+	mu   sync.Mutex // serializes row creation and freezing only
+	rows sync.Map   // uint32 (domain context) -> *ledgerRow
+}
+
+// ledgerRow is one domain's accumulation. Cells are updated with
+// atomics on the charge path; creation and freeze go through Ledger.mu.
+type ledgerRow struct {
+	frozen atomic.Bool
+	total  atomic.Uint64
+	cells  []ledgerCell
+}
+
+type ledgerCell struct {
+	cycles atomic.Uint64
+	count  atomic.Uint64
+}
+
+// NewLedger builds a ledger with the given operation-slot count.
+func NewLedger(ops int) *Ledger {
+	if ops < 1 {
+		ops = 1
+	}
+	return &Ledger{ops: ops}
+}
+
+// Ops reports the ledger's operation-slot count.
+func (l *Ledger) Ops() int { return l.ops }
+
+// Add attributes n occurrences of op, worth cycles virtual cycles in
+// total, to domain's row. The fast path — row already exists — is a
+// lock-free map load plus three atomic adds; a domain's first charge
+// creates its row under the ledger lock.
+func (l *Ledger) Add(domain uint32, op int, cycles, n uint64) {
+	if l == nil || op < 0 || op >= l.ops {
+		return
+	}
+	r := l.row(domain)
+	c := &r.cells[op]
+	c.cycles.Add(cycles)
+	c.count.Add(n)
+	r.total.Add(cycles)
+}
+
+// row returns domain's row, creating it on first sight.
+func (l *Ledger) row(domain uint32) *ledgerRow {
+	if v, ok := l.rows.Load(domain); ok {
+		return v.(*ledgerRow)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if v, ok := l.rows.Load(domain); ok {
+		return v.(*ledgerRow)
+	}
+	r := &ledgerRow{cells: make([]ledgerCell, l.ops)}
+	l.rows.Store(domain, r)
+	return r
+}
+
+// Freeze marks domain's row final — DestroyDomain calls it once the
+// domain is quiescent, so a dead domain's bill stays readable instead
+// of being dropped with the domain. Context ids are never reused, so a
+// frozen row accumulates nothing further; freezing a domain that never
+// charged anything creates an empty frozen row, recording that the
+// domain existed.
+func (l *Ledger) Freeze(domain uint32) {
+	if l == nil {
+		return
+	}
+	l.row(domain).frozen.Store(true)
+}
+
+// Frozen reports whether domain's row has been frozen.
+func (l *Ledger) Frozen(domain uint32) bool {
+	v, ok := l.rows.Load(domain)
+	return ok && v.(*ledgerRow).frozen.Load()
+}
+
+// DomainCycles reports the total cycles attributed to domain.
+func (l *Ledger) DomainCycles(domain uint32) uint64 {
+	if l == nil {
+		return 0
+	}
+	v, ok := l.rows.Load(domain)
+	if !ok {
+		return 0
+	}
+	return v.(*ledgerRow).total.Load()
+}
+
+// Total reports the cycles attributed across all rows. With tracing
+// enabled from boot this equals the meter's clock.
+func (l *Ledger) Total() uint64 {
+	var sum uint64
+	l.rows.Range(func(_, v any) bool {
+		sum += v.(*ledgerRow).total.Load()
+		return true
+	})
+	return sum
+}
+
+// RowSnapshot is one domain's ledger row as read by Snapshot.
+type RowSnapshot struct {
+	Domain uint32
+	Frozen bool
+	Total  uint64
+	Cycles []uint64 // per op slot
+	Counts []uint64 // per op slot
+}
+
+// Snapshot copies every row, sorted by domain context id. The copy is
+// cell-atomic, not row-atomic: a snapshot racing live charges may split
+// one charge across Cycles and Total, which the exporters tolerate.
+func (l *Ledger) Snapshot() []RowSnapshot {
+	if l == nil {
+		return nil
+	}
+	var out []RowSnapshot
+	l.rows.Range(func(k, v any) bool {
+		r := v.(*ledgerRow)
+		row := RowSnapshot{
+			Domain: k.(uint32),
+			Frozen: r.frozen.Load(),
+			Total:  r.total.Load(),
+			Cycles: make([]uint64, l.ops),
+			Counts: make([]uint64, l.ops),
+		}
+		for i := range r.cells {
+			row.Cycles[i] = r.cells[i].cycles.Load()
+			row.Counts[i] = r.cells[i].count.Load()
+		}
+		out = append(out, row)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
+	return out
+}

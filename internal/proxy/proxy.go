@@ -30,6 +30,7 @@ import (
 	"paramecium/internal/mem"
 	"paramecium/internal/mmu"
 	"paramecium/internal/obj"
+	"paramecium/internal/probe"
 	"paramecium/internal/shm"
 )
 
@@ -59,6 +60,7 @@ type callFrame struct {
 	err   error
 	done  bool
 	batch []obj.BatchCall // non-nil: vectored call, entries carry their own targets
+	mode  obj.BatchMode   // dispatch mode that formed the batch (telemetry)
 }
 
 var framePool = sync.Pool{New: func() any { return new(callFrame) }}
@@ -70,10 +72,11 @@ func newFrame(th obj.MethodHandle, args, out []any) *callFrame {
 	return fr
 }
 
-func newBatchFrame(calls []obj.BatchCall) *callFrame {
+func newBatchFrame(calls []obj.BatchCall, mode obj.BatchMode) *callFrame {
 	fr := framePool.Get().(*callFrame)
 	fr.th, fr.args, fr.out = obj.MethodHandle{}, nil, nil
 	fr.res, fr.err, fr.done, fr.batch = nil, nil, false, calls
+	fr.mode = mode
 	return fr
 }
 
@@ -403,6 +406,20 @@ func (p *Proxy) Crossings() uint64 {
 //
 //paramecium:hotpath
 func (p *Proxy) DispatchBatch(calls []obj.BatchCall) error {
+	return p.dispatchBatch(calls, obj.InOrder)
+}
+
+// DispatchBatchMode implements obj.ModeBatcher: identical dispatch to
+// DispatchBatch, with the forming mode recorded in the flight
+// recorder's batch-dispatch event.
+//
+//paramecium:hotpath
+func (p *Proxy) DispatchBatchMode(calls []obj.BatchCall, mode obj.BatchMode) error {
+	return p.dispatchBatch(calls, mode)
+}
+
+//paramecium:hotpath
+func (p *Proxy) dispatchBatch(calls []obj.BatchCall, mode obj.BatchMode) error {
 	if len(calls) == 0 {
 		return nil
 	}
@@ -412,7 +429,7 @@ func (p *Proxy) DispatchBatch(calls []obj.BatchCall) error {
 		}
 		return ErrClosed
 	}
-	fr := newBatchFrame(calls)
+	fr := newBatchFrame(calls, mode)
 	token := p.factory.frames.put(fr)
 	// Deferred so a panicking target method cannot leak the table
 	// entry, exactly as on the single-call path.
@@ -678,8 +695,9 @@ func (e *entryIface) handleFault(f *hw.TrapFrame) bool {
 
 	// Map in arguments. A shared-memory grant crosses as a single
 	// capability word (wordsOf charges its 8 bytes like any scalar):
-	// the segment's payload never touches the invocation plane.
-	meter.ChargeN(clock.OpCopyWord, wordsOf(call.args))
+	// the segment's payload never touches the invocation plane. The
+	// caller pays every invocation-plane charge of its own crossing.
+	meter.ChargeNFor(uint32(p.callerCtx), clock.OpCopyWord, wordsOf(call.args))
 
 	// The call runs in the caller's domain and crosses into the
 	// target's: one switch there, one back. Each leg is validated and
@@ -691,6 +709,9 @@ func (e *entryIface) handleFault(f *hw.TrapFrame) bool {
 	// deterministic.
 	crossing := p.callerCtx != p.targetCtx
 	if crossing {
+		if probe.Enabled() {
+			meter.Emit(int(f.CPU), probe.KindCrossingBegin, uint32(p.callerCtx), uint64(p.targetCtx), 1)
+		}
 		if err := machine.MMU.CrossSwitchOn(f.CPU, p.targetCtx); err != nil {
 			call.err = fmt.Errorf("proxy: target domain gone: %w", err)
 			call.done = true
@@ -705,6 +726,9 @@ func (e *entryIface) handleFault(f *hw.TrapFrame) bool {
 			// alongside any error the target itself returned.
 			call.err = errors.Join(call.err, fmt.Errorf("proxy: caller domain gone: %w", err))
 		}
+		if probe.Enabled() {
+			meter.Emit(int(f.CPU), probe.KindCrossingEnd, uint32(p.callerCtx), uint64(p.targetCtx), 1)
+		}
 	}
 
 	// Return values are handled similarly. call.res is the caller's
@@ -714,7 +738,7 @@ func (e *entryIface) handleFault(f *hw.TrapFrame) bool {
 	if n := len(call.out); n > 0 && len(copied) >= n {
 		copied = copied[n:]
 	}
-	meter.ChargeN(clock.OpCopyWord, wordsOf(copied))
+	meter.ChargeNFor(uint32(p.callerCtx), clock.OpCopyWord, wordsOf(copied))
 	call.done = true
 	// The entry page stays unmapped (the next call must fault again),
 	// so the fault is reported as unresolved; fault picks the results
@@ -733,6 +757,12 @@ func (e *entryIface) handleFault(f *hw.TrapFrame) bool {
 //paramecium:hotpath
 func (p *Proxy) executeBatch(f *hw.TrapFrame, call *callFrame, mm *mmu.MMU, meter *clock.Meter) {
 	crossing := p.callerCtx != p.targetCtx
+	if probe.Enabled() {
+		meter.Emit(int(f.CPU), probe.KindBatchDispatch, uint32(p.callerCtx), uint64(len(call.batch)), uint64(call.mode))
+		if crossing {
+			meter.Emit(int(f.CPU), probe.KindCrossingBegin, uint32(p.callerCtx), uint64(p.targetCtx), uint64(len(call.batch)))
+		}
+	}
 	if crossing {
 		if err := mm.CrossSwitchOn(f.CPU, p.targetCtx); err != nil {
 			err = fmt.Errorf("proxy: target domain gone: %w", err)
@@ -759,8 +789,8 @@ func (p *Proxy) executeBatch(f *hw.TrapFrame, call *callFrame, mm *mmu.MMU, mete
 			bc.SetResult(nil, err)
 			continue
 		}
-		meter.Charge(clock.OpBatchEntry)
-		meter.ChargeN(clock.OpCopyWord, wordsOf(bc.Args()))
+		meter.ChargeFor(uint32(p.callerCtx), clock.OpBatchEntry)
+		meter.ChargeNFor(uint32(p.callerCtx), clock.OpCopyWord, wordsOf(bc.Args()))
 		// Dispatch through the entry's caller-provided result buffer
 		// when one was supplied (Batch.AddInto): the target's results
 		// land in caller-owned storage, keeping the steady-state
@@ -774,10 +804,10 @@ func (p *Proxy) executeBatch(f *hw.TrapFrame, call *callFrame, mm *mmu.MMU, mete
 			if n := len(out); n > 0 && len(copied) >= n {
 				copied = copied[n:]
 			}
-			meter.ChargeN(clock.OpCopyWord, wordsOf(copied))
+			meter.ChargeNFor(uint32(p.callerCtx), clock.OpCopyWord, wordsOf(copied))
 		} else {
 			res, err = key.th.Call(bc.Args()...)
-			meter.ChargeN(clock.OpCopyWord, wordsOf(res))
+			meter.ChargeNFor(uint32(p.callerCtx), clock.OpCopyWord, wordsOf(res))
 		}
 		bc.SetResult(res, err)
 	}
@@ -787,6 +817,9 @@ func (p *Proxy) executeBatch(f *hw.TrapFrame, call *callFrame, mm *mmu.MMU, mete
 			// stand, and the group-level error reports the lost return
 			// leg exactly as a single call would.
 			call.err = fmt.Errorf("proxy: caller domain gone: %w", err)
+		}
+		if probe.Enabled() {
+			meter.Emit(int(f.CPU), probe.KindCrossingEnd, uint32(p.callerCtx), uint64(p.targetCtx), uint64(len(call.batch)))
 		}
 	}
 	call.done = true

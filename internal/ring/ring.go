@@ -8,6 +8,7 @@ import (
 	"paramecium/internal/clock"
 	"paramecium/internal/mmu"
 	"paramecium/internal/obj"
+	"paramecium/internal/probe"
 	"paramecium/internal/shm"
 )
 
@@ -64,6 +65,11 @@ type Ring struct {
 	stride      int // slot payload footprint, slotBytes rounded to a word
 	payloadBase int // segment offset of slot 0's payload, page-aligned
 
+	// producerCtx/consumerCtx cache the endpoint domains for charge
+	// attribution, so the hot push/pop paths never chase the grant.
+	producerCtx uint32
+	consumerCtx uint32
+
 	prod Producer
 	cons Consumer
 }
@@ -104,6 +110,8 @@ func New(meter *clock.Meter, reg *shm.Registry, producer, consumer mmu.ContextID
 		slotBytes:   slotBytes,
 		stride:      stride,
 		payloadBase: payloadBase,
+		producerCtx: uint32(producer),
+		consumerCtx: uint32(consumer),
 	}
 	var w [8]byte
 	for _, init := range []struct {
@@ -225,7 +233,7 @@ func (p *Producer) publish(n uint64) error {
 		return err
 	}
 	p.pending++
-	p.r.meter.Charge(clock.OpRingPush)
+	p.r.meter.ChargeFor(p.r.producerCtx, clock.OpRingPush)
 	return nil
 }
 
@@ -279,7 +287,9 @@ func (p *Producer) PushInPlace(n int) error {
 
 // Notify latches tail into the doorbell word, charges one OpDoorbell
 // for the burst, and invokes the doorbell handle if one is set. A
-// no-op when nothing was pushed since the last Notify.
+// no-op when nothing was pushed since the last Notify. Rings carry no
+// CPU identity, so the doorbell flight-recorder event is stamped on
+// the boot CPU; the paying domain is the producer's context.
 //
 //paramecium:hotpath
 func (p *Producer) Notify() error {
@@ -290,8 +300,12 @@ func (p *Producer) Notify() error {
 	if err := p.r.seg.Store(offDoorbell, p.w[:]); err != nil {
 		return err
 	}
+	burst := p.pending
 	p.pending = 0
-	p.r.meter.Charge(clock.OpDoorbell)
+	p.r.meter.ChargeFor(p.r.producerCtx, clock.OpDoorbell)
+	if probe.Enabled() {
+		p.r.meter.Emit(int(mmu.BootCPU), probe.KindDoorbell, p.r.producerCtx, uint64(burst), uint64(p.r.seg.ID()))
+	}
 	if p.hasDB {
 		_, err := p.db.CallInto(p.dbOut[:0])
 		return err
@@ -301,8 +315,15 @@ func (p *Producer) Notify() error {
 
 // Hangup revokes the consumer's grant: the shm tombstone this leaves
 // behind is the ring's end-of-stream signal. The consumer's next
-// access fails with ErrHangup.
-func (p *Producer) Hangup() error { return p.r.grant.Revoke() }
+// access fails with ErrHangup. The hangup flight-recorder event is
+// stamped on the boot CPU — grant revocation is a control-plane
+// operation with no CPU identity of its own.
+func (p *Producer) Hangup() error {
+	if probe.Enabled() {
+		p.r.meter.Emit(int(mmu.BootCPU), probe.KindHangup, p.r.producerCtx, uint64(p.r.seg.ID()), 0)
+	}
+	return p.r.grant.Revoke()
+}
 
 // Consumer is the draining endpoint: it owns the head word and reads
 // slots through the grantee attachment, so a revoked grant fails
@@ -315,11 +336,15 @@ type Consumer struct {
 }
 
 // hangupErr translates segment-plane loss of access into the ring's
-// end-of-stream error.
+// end-of-stream error, recording a consumer-side hangup event stamped
+// on the boot CPU (the ring has no CPU identity to thread through).
 //
 //paramecium:hotpath
 func (c *Consumer) hangupErr(err error) error {
 	if errors.Is(err, shm.ErrRevoked) || errors.Is(err, shm.ErrDestroyed) {
+		if probe.Enabled() {
+			c.r.meter.Emit(int(mmu.BootCPU), probe.KindHangup, c.r.consumerCtx, uint64(c.r.seg.ID()), 1)
+		}
 		return ErrHangup
 	}
 	return err
@@ -382,7 +407,7 @@ func (c *Consumer) Release() error {
 		c.head--
 		return c.hangupErr(err)
 	}
-	c.r.meter.Charge(clock.OpRingPop)
+	c.r.meter.ChargeFor(c.r.consumerCtx, clock.OpRingPop)
 	return nil
 }
 

@@ -37,6 +37,7 @@ import (
 	"paramecium/internal/clock"
 	"paramecium/internal/mem"
 	"paramecium/internal/mmu"
+	"paramecium/internal/probe"
 )
 
 // Rights is the access a grant confers on a segment.
@@ -348,7 +349,9 @@ func (r *Registry) Attach(ref GrantRef) (*Attachment, error) {
 	return r.attachLocked(g)
 }
 
-// attachLocked maps one validated grant. Caller holds r.mu.
+// attachLocked maps one validated grant. Caller holds r.mu. The
+// grant-attach flight-recorder event is stamped on the boot CPU:
+// attach runs on the nucleus' control plane, not a particular CPU.
 func (r *Registry) attachLocked(g *Grant) (*Attachment, error) {
 	if g.revoked {
 		return nil, ErrRevoked
@@ -372,6 +375,10 @@ func (r *Registry) attachLocked(g *Grant) (*Attachment, error) {
 	}
 	g.mapped, g.base = true, base
 	g.att = &Attachment{g: g}
+	if probe.Enabled() {
+		m := r.svc.Machine().Meter
+		m.Emit(int(mmu.BootCPU), probe.KindGrantAttach, uint32(g.to), uint64(g.seg.id), uint64(g.seg.pages))
+	}
 	return g.att, nil
 }
 
@@ -490,6 +497,10 @@ func (r *Registry) revokeLocked(initiator mmu.CPUID, g *Grant) {
 	g.accessMu.Unlock()
 	delete(g.seg.grants, g.ref)
 	r.tombLocked(g.ref)
+	if probe.Enabled() {
+		m := r.svc.Machine().Meter
+		m.Emit(int(initiator), probe.KindGrantRevoke, uint32(g.to), uint64(g.seg.id), uint64(g.seg.pages))
+	}
 }
 
 // tombLocked records a fresh tombstone and evicts the oldest past the

@@ -7,6 +7,7 @@ import (
 
 	"paramecium/internal/clock"
 	"paramecium/internal/mmu"
+	"paramecium/internal/probe"
 )
 
 // Scheduler multiplexes simulated threads over the machine's virtual
@@ -398,6 +399,9 @@ func (s *Scheduler) Wake(t *Thread) {
 
 func (s *Scheduler) wakeLocked(t *Thread) {
 	t.setState(StateReady)
+	if probe.Enabled() {
+		s.meter.Emit(int(t.cpu.Load()), probe.KindWake, uint32(clock.KernelDomain), t.id, 0)
+	}
 	s.ready(t)
 }
 
@@ -517,8 +521,15 @@ func (s *Scheduler) stealScan(me, base, width int, rng *clock.Rand) *Thread {
 		}
 		rq.q = rq.q[:ln-take]
 		rq.mu.Unlock()
-		s.steals.Add(1)
+		// Threads before operations: a reader computing the batch factor
+		// StolenThreads/Steals must never observe a steal whose threads
+		// have not landed in the numerator yet (the ratio would dip below
+		// one thread per operation, which is impossible).
 		s.stolenThreads.Add(uint64(take))
+		s.steals.Add(1)
+		if probe.Enabled() {
+			s.meter.Emit(me, probe.KindSteal, uint32(clock.KernelDomain), uint64(v), uint64(take))
+		}
 
 		// Run the newest now; park the remainder on our own queue.
 		// Their nready counts are unchanged — they stay ready, only
@@ -559,7 +570,9 @@ func (s *Scheduler) advanceDueLocked() bool {
 	}
 	now := s.meter.Clock.Now()
 	if earliest > now {
-		s.meter.Clock.Advance(earliest - now)
+		// Attributed so the ledger's total still equals the clock: the
+		// idle fast-forward lands in the kernel row's idle pseudo-slot.
+		s.meter.AdvanceAttributed(earliest - now)
 	}
 	now = s.meter.Clock.Now()
 	var rest []sleeper
@@ -668,7 +681,7 @@ func (s *Scheduler) dispatchLoop(cpu int, rng *clock.Rand) {
 			s.dispatch(cpu, t)
 			continue
 		}
-		if s.quiesce() {
+		if s.quiesce(cpu) {
 			return
 		}
 	}
@@ -679,7 +692,7 @@ func (s *Scheduler) dispatchLoop(cpu int, rng *clock.Rand) {
 // clock: if every queue is empty and threads sleep on the clock, it
 // advances time and wakes them; if there is nothing left at all, it
 // declares the run done and releases everyone.
-func (s *Scheduler) quiesce() (done bool) {
+func (s *Scheduler) quiesce(cpu int) (done bool) {
 	s.idleMu.Lock()
 	s.parked++
 	s.nparked.Add(1)
@@ -699,6 +712,9 @@ func (s *Scheduler) quiesce() (done bool) {
 	}
 	for !s.runDone && s.nready.Load() == 0 {
 		s.parks.Add(1)
+		if probe.Enabled() {
+			s.meter.Emit(cpu, probe.KindPark, uint32(clock.KernelDomain), 0, 0)
+		}
 		s.idleCond.Wait()
 	}
 	done = s.runDone

@@ -113,6 +113,26 @@ func (t *Tracer) Keys() []string {
 	return out
 }
 
+// MethodSnapshot is one method's aggregated stats as copied by
+// Snapshot: the key ("iface.method") plus the stats value.
+type MethodSnapshot struct {
+	Key   string
+	Stats MethodStats
+}
+
+// Snapshot copies every method's stats, sorted by key — the form the
+// trace exporters merge into their reports.
+func (t *Tracer) Snapshot() []MethodSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]MethodSnapshot, 0, len(t.stats))
+	for k, st := range t.stats {
+		out = append(out, MethodSnapshot{Key: k, Stats: *st})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
 // Report renders a human-readable summary table.
 func (t *Tracer) Report() string {
 	var b strings.Builder

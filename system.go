@@ -2,6 +2,7 @@ package paramecium
 
 import (
 	"fmt"
+	"sync"
 
 	"paramecium/api"
 	"paramecium/internal/clock"
@@ -90,6 +91,11 @@ func Boot(opts ...Option) (*System, error) {
 // protection-domain machinery.
 type System struct {
 	k *core.Kernel
+
+	// traceMu guards tracers: the Tracer installations made through
+	// Handle.Trace, merged into TraceSnapshot.
+	traceMu sync.Mutex
+	tracers []tracedPath
 }
 
 // Cycles reports the machine's virtual clock: total cycles charged
@@ -111,8 +117,14 @@ func (s *System) SharedCPULeases() uint64 { return s.k.Machine.SharedLeases() }
 // embedding that discards a multi-CPU system does not strand one
 // parked host goroutine per virtual CPU. The system remains usable;
 // the next scheduler pump spawns a fresh pool. Single-CPU systems
-// hold no pool and Shutdown is a no-op.
-func (s *System) Shutdown() { s.k.Sched.Shutdown() }
+// hold no pool and Shutdown is a no-op. Shutdown also retires this
+// system's flight recorder (if it booted WithTracing): its share of
+// the process-wide emit gate is released, so other systems in the
+// process go back to the single-load disabled path.
+func (s *System) Shutdown() {
+	s.k.Sched.Shutdown()
+	s.k.Meter.DisableTracing()
+}
 
 // NewObject creates an empty object of the given class, wired to the
 // system's cycle meter. Export interfaces with AddInterface and bind
